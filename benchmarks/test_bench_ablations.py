@@ -1,0 +1,128 @@
+"""Ablations of DESIGN.md's called-out design choices.
+
+* auxiliary/critical clustering on vs off (narration verbosity / redundancy);
+* act-level vs whole-plan translation granularity (training-data volume and
+  input-sequence length);
+* beam width for decoding (quality vs latency);
+* frequency threshold of the RULE→NEURAL switch in the combined LANTERN.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.core.acts import align_acts_with_narration, decompose_lot_into_acts
+from repro.core.lantern import Lantern, LanternConfig
+from repro.core.lot import build_lot
+from repro.core.rule_lantern import RuleLantern
+from repro.workloads import tpch_queries
+
+
+def test_ablation_clustering(benchmark, suite):
+    """Without clustering, auxiliary operators get their own (redundant) steps."""
+    db = suite.tpch()
+    lantern = suite.lantern()
+    queries = tpch_queries()[:10]
+
+    def measure():
+        clustered_steps = unclustered_steps = clustered_tokens = unclustered_tokens = 0
+        narrator = RuleLantern(suite.store, poem_source="pg")
+        for query in queries:
+            tree = lantern.plan_for_sql(db, query.sql)
+            narration = narrator.narrate(tree)
+            clustered_steps += len(narration.steps)
+            clustered_tokens += narration.token_count
+            # "no clustering" ablation: every node gets its own step
+            lot = build_lot(tree, suite.store, "pg")
+            unclustered_steps += lot.node_count()
+            unclustered_tokens += sum(len(node.label.split()) + 4 for node in lot.walk())
+        return clustered_steps, unclustered_steps, clustered_tokens, unclustered_tokens
+
+    clustered_steps, unclustered_steps, clustered_tokens, unclustered_tokens = benchmark(measure)
+    print_table(
+        "Ablation — auxiliary/critical clustering",
+        ["configuration", "steps", "tokens"],
+        [["with clustering (paper)", clustered_steps, clustered_tokens],
+         ["without clustering", unclustered_steps, unclustered_tokens]],
+    )
+    assert clustered_steps < unclustered_steps
+
+
+def test_ablation_act_granularity(benchmark, suite):
+    """Act-level inputs are shorter and far more numerous than whole-plan inputs."""
+    db = suite.tpch()
+    lantern = suite.lantern()
+
+    def measure():
+        act_samples = plan_samples = 0
+        act_length = plan_length = 0
+        for query in tpch_queries():
+            tree = lantern.plan_for_sql(db, query.sql)
+            narration = lantern.describe_plan(tree)
+            acts = align_acts_with_narration(decompose_lot_into_acts(narration.lot), narration)
+            act_samples += len(acts)
+            act_length += sum(len(act.input_tokens()) for act in acts)
+            plan_samples += 1
+            plan_length += sum(len(act.input_tokens()) for act in acts)
+        return act_samples, act_length / act_samples, plan_samples, plan_length / plan_samples
+
+    act_samples, act_mean, plan_samples, plan_mean = benchmark(measure)
+    print_table(
+        "Ablation — act-level vs whole-plan translation unit (22 TPC-H queries)",
+        ["granularity", "#training samples", "mean input length"],
+        [["act (paper)", act_samples, f"{act_mean:.1f}"],
+         ["whole plan", plan_samples, f"{plan_mean:.1f}"]],
+    )
+    assert act_samples > plan_samples * 3
+    assert act_mean < plan_mean
+
+
+def test_ablation_beam_width(benchmark, suite):
+    """Wider beams cost latency; quality saturates quickly on this constrained task."""
+    variant = suite.variant("base")
+    samples = variant.neural.dataset.validation_samples[:15]
+
+    def measure():
+        results = {}
+        for beam in (1, 2, 4):
+            started = time.perf_counter()
+            bleu = variant.neural.test_bleu(samples, beam_size=beam)
+            results[beam] = (bleu, time.perf_counter() - started)
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Ablation — beam width",
+        ["beam", "BLEU", "decode time (s)"],
+        [[beam, f"{bleu:.1f}", f"{seconds:.2f}"] for beam, (bleu, seconds) in results.items()],
+    )
+    assert results[4][1] >= results[1][1] * 0.9  # wider beams are not cheaper
+    assert results[4][0] >= results[1][0] - 10.0
+
+
+def test_ablation_switch_threshold(benchmark, suite):
+    """Lower frequency thresholds hand more steps to the neural generator."""
+    db = suite.imdb()
+    neural = suite.variant("base").neural
+    queries = suite.imdb_test_queries()[:20]
+
+    def neural_fraction(threshold: int) -> float:
+        facade = Lantern(store=suite.store, neural=neural, config=LanternConfig(frequency_threshold=threshold))
+        neural_steps = total_steps = 0
+        for sql in queries:
+            narration = facade.describe_sql(db, sql, mode="auto")
+            total_steps += len(narration.steps)
+            neural_steps += sum(step.generator == "neural" for step in narration.steps)
+        return neural_steps / max(total_steps, 1)
+
+    def measure():
+        return {threshold: neural_fraction(threshold) for threshold in (2, 5, 10)}
+
+    fractions = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Ablation — RULE→NEURAL switch threshold (share of neural steps)",
+        ["threshold", "neural step share"],
+        [[threshold, f"{fraction:.1%}"] for threshold, fraction in fractions.items()],
+    )
+    assert fractions[2] >= fractions[5] >= fractions[10]
+    assert fractions[2] > 0.0

@@ -1,0 +1,33 @@
+"""Figure 6(a) — validation loss with vs without diversified (paraphrased) training data.
+
+Paper shape: training on the paraphrase-expanded dataset reaches a lower
+validation loss than training on the raw RULE-LANTERN targets alone.
+"""
+
+from conftest import print_table
+
+
+def test_fig6a_diversification_loss(benchmark, suite):
+    def train_both():
+        with_paraphrase = suite.variant("base", paraphrase=True)
+        without_paraphrase = suite.variant("no-paraphrase", paraphrase=False)
+        return with_paraphrase, without_paraphrase
+
+    with_paraphrase, without_paraphrase = benchmark.pedantic(train_both, rounds=1, iterations=1)
+    rows = []
+    for epoch in range(max(with_paraphrase.history.epochs, without_paraphrase.history.epochs)):
+        rows.append([
+            epoch + 1,
+            f"{with_paraphrase.history.records[min(epoch, with_paraphrase.history.epochs - 1)].validation_loss:.3f}",
+            f"{without_paraphrase.history.records[min(epoch, without_paraphrase.history.epochs - 1)].validation_loss:.3f}",
+        ])
+    print_table(
+        "Figure 6(a) — validation loss per epoch",
+        ["epoch", "with diversified translation", "without"],
+        rows,
+    )
+    assert (
+        with_paraphrase.history.final.validation_loss
+        <= without_paraphrase.history.final.validation_loss * 1.25
+    )
+    assert with_paraphrase.history.final.validation_loss < with_paraphrase.history.records[0].validation_loss

@@ -1,0 +1,34 @@
+"""Figure 6(b) — loss curves with vs without pre-trained Word2Vec decoder embeddings.
+
+Paper shape: pre-trained vectors speed up convergence and reach a lower
+validation loss than randomly initialized embeddings.
+"""
+
+from conftest import print_table
+
+
+def test_fig6b_pretrained_word2vec_loss(benchmark, suite):
+    def train_both():
+        baseline = suite.variant("base", paraphrase=True)
+        word2vec = suite.variant("word2vec-pre", embedding_family="word2vec", pretrained=True)
+        return baseline, word2vec
+
+    baseline, word2vec = benchmark.pedantic(train_both, rounds=1, iterations=1)
+    rows = []
+    for epoch in range(baseline.history.epochs):
+        rows.append([
+            epoch + 1,
+            f"{baseline.history.records[epoch].train_loss:.3f}",
+            f"{baseline.history.records[epoch].validation_loss:.3f}",
+            f"{word2vec.history.records[epoch].train_loss:.3f}",
+            f"{word2vec.history.records[epoch].validation_loss:.3f}",
+        ])
+    print_table(
+        "Figure 6(b) — loss per epoch (QEP2Seq vs QEP2Seq+Word2Vec)",
+        ["epoch", "train (random)", "val (random)", "train (+Word2Vec)", "val (+Word2Vec)"],
+        rows,
+    )
+    # both runs must learn; the pre-trained variant should not be worse by much
+    assert baseline.history.final.train_loss < baseline.history.records[0].train_loss
+    assert word2vec.history.final.train_loss < word2vec.history.records[0].train_loss
+    assert word2vec.history.final.validation_loss <= baseline.history.final.validation_loss * 1.2

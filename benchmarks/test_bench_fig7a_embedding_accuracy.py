@@ -1,0 +1,46 @@
+"""Figure 7(a) — validation accuracy for pre-trained vs self-trained embedding variants.
+
+Paper shape: pre-trained vectors train faster and reach higher validation
+accuracy than random initialization; vectors self-trained only on
+RULE-LANTERN output sit in between (their corpus is tiny and repetitive).
+"""
+
+from conftest import print_table
+
+VARIANTS = [
+    ("QEP2Seq", "base", None, True),
+    ("QEP2Seq+Word2Vec (pre-trained)", "word2vec-pre", "word2vec", True),
+    ("QEP2Seq+Word2Vec (self-trained)", "word2vec-self", "word2vec", False),
+    ("QEP2Seq+GloVe (pre-trained)", "glove-pre", "glove", True),
+    ("QEP2Seq+GloVe (self-trained)", "glove-self", "glove", False),
+    ("QEP2Seq+BERT (pre-trained)", "bert-pre", "bert", True),
+    ("QEP2Seq+ELMo (pre-trained)", "elmo-pre", "elmo", True),
+]
+
+
+def test_fig7a_embedding_variants_accuracy(benchmark, suite):
+    def train_all():
+        return {
+            label: suite.variant(name, embedding_family=family, pretrained=pretrained)
+            for label, name, family, pretrained in VARIANTS
+        }
+
+    variants = benchmark.pedantic(train_all, rounds=1, iterations=1)
+    rows = [
+        [label,
+         f"{variant.history.records[0].validation_accuracy:.3f}",
+         f"{variant.history.final.validation_accuracy:.3f}"]
+        for label, variant in variants.items()
+    ]
+    print_table(
+        "Figure 7(a) — validation accuracy (first epoch, final epoch)",
+        ["method", "epoch 1", "final"],
+        rows,
+    )
+    final = {label: variant.history.final.validation_accuracy for label, variant in variants.items()}
+    # every variant learns something non-trivial
+    assert all(accuracy > 0.3 for accuracy in final.values())
+    # the best pre-trained contextual variant should not lose to random init
+    best_pretrained = max(final["QEP2Seq+BERT (pre-trained)"], final["QEP2Seq+ELMo (pre-trained)"],
+                          final["QEP2Seq+Word2Vec (pre-trained)"], final["QEP2Seq+GloVe (pre-trained)"])
+    assert best_pretrained >= final["QEP2Seq"] - 0.05

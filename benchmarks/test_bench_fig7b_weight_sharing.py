@@ -1,0 +1,29 @@
+"""Figure 7(b) — impact of sharing the recurrent weights between encoder and decoder.
+
+Paper shape: performance with and without weight sharing is comparable.
+"""
+
+from conftest import print_table
+
+
+def test_fig7b_weight_sharing(benchmark, suite):
+    def train_both():
+        unshared = suite.variant("base", paraphrase=True)
+        shared = suite.variant("shared-weights", share_weights=True)
+        return unshared, shared
+
+    unshared, shared = benchmark.pedantic(train_both, rounds=1, iterations=1)
+    rows = [
+        ["weights not shared", f"{unshared.history.final.validation_accuracy:.3f}",
+         unshared.model.parameter_count()],
+        ["weights shared", f"{shared.history.final.validation_accuracy:.3f}",
+         shared.model.parameter_count()],
+    ]
+    print_table(
+        "Figure 7(b) — validation accuracy with/without encoder-decoder weight sharing",
+        ["configuration", "final val accuracy", "#parameters"],
+        rows,
+    )
+    assert shared.model.parameter_count() < unshared.model.parameter_count()
+    # comparable accuracy (paper reports no significant gap)
+    assert abs(shared.history.final.validation_accuracy - unshared.history.final.validation_accuracy) < 0.25

@@ -1,0 +1,54 @@
+"""Figure 8(a) — token counts: input SQL vs RULE-LANTERN vs NEURAL-LANTERN, 22 TPC-H workloads.
+
+Paper shape: output length tracks plan complexity (number of relations), not
+SQL text length, and NEURAL-LANTERN's variability does not blow up the length
+relative to RULE-LANTERN.
+"""
+
+from conftest import print_table
+
+from repro.core.acts import align_acts_with_narration, decompose_lot_into_acts
+from repro.workloads import tpch_queries
+
+
+def test_fig8a_output_lengths(benchmark, suite):
+    db = suite.tpch()
+    lantern = suite.lantern()
+    neural = suite.variant("base").neural
+
+    def measure():
+        rows = []
+        for query in tpch_queries():
+            tree = lantern.plan_for_sql(db, query.sql)
+            rule = lantern.describe_plan(tree)
+            acts = align_acts_with_narration(decompose_lot_into_acts(rule.lot), rule)
+            neural_tokens = 0
+            for act, step in zip(acts, rule.steps):
+                neural_tokens += len(neural.translate_step(act, step).split())
+            rows.append((query.name, len(query.sql.split()), rule.token_count, neural_tokens,
+                         len(tree.relations())))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Figure 8(a) — tokens per TPC-H workload",
+        ["query", "input SQL", "RULE-LANTERN", "NEURAL-LANTERN", "#relations"],
+        rows,
+    )
+    sql_lengths = [row[1] for row in rows]
+    rule_lengths = [row[2] for row in rows]
+    neural_lengths = [row[3] for row in rows]
+    relation_counts = [row[4] for row in rows]
+
+    def correlation(xs, ys):
+        n = len(xs)
+        mean_x, mean_y = sum(xs) / n, sum(ys) / n
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        var_x = sum((x - mean_x) ** 2 for x in xs) ** 0.5
+        var_y = sum((y - mean_y) ** 2 for y in ys) ** 0.5
+        return cov / (var_x * var_y + 1e-9)
+
+    # output length is driven by plan complexity (relations) more than raw SQL length
+    assert correlation(relation_counts, rule_lengths) > 0.5
+    # neural output stays within a modest factor of the rule output overall
+    assert sum(neural_lengths) < 1.6 * sum(rule_lengths)

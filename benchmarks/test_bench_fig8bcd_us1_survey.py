@@ -1,0 +1,84 @@
+"""Figures 8(b), 8(c), 8(d) — US 1: Q1 ease, Q2 quality, Q3 preferred format (43 learners).
+
+Paper shape: both LANTERN variants have the largest share of >3 ratings for
+Q1; ~86%/81% agree the descriptions are good (Q2, rule slightly ahead); the
+two NL variants are the most preferred formats and JSON the least (Q3).
+"""
+
+from conftest import print_table
+
+from repro.plans.visual import render_visual_tree
+from repro.study import LearnerPopulation
+from repro.study.experiments import (
+    StudyMaterials,
+    q1_ease_of_understanding,
+    q2_description_quality,
+    q3_preferred_format,
+)
+from repro.study.surveys import format_likert_table
+from repro.workloads import tpch_queries
+
+
+def _materials(suite) -> StudyMaterials:
+    db = suite.tpch()
+    lantern = suite.lantern()
+    neural = suite.variant("base").neural
+    from repro.core.acts import align_acts_with_narration, decompose_lot_into_acts
+
+    narrations, neural_texts, trees, documents = [], [], [], []
+    for query in tpch_queries()[:10]:
+        tree = lantern.plan_for_sql(db, query.sql)
+        narration = lantern.describe_plan(tree)
+        acts = align_acts_with_narration(decompose_lot_into_acts(narration.lot), narration)
+        neural_texts.append(" ".join(neural.translate_step(act, step) for act, step in zip(acts, narration.steps)))
+        narrations.append(narration)
+        trees.append(render_visual_tree(tree))
+        documents.append(db.explain(query.sql, output_format="json"))
+    return StudyMaterials(
+        json_documents=documents, visual_trees=trees, rule_narrations=narrations, neural_texts=neural_texts,
+    )
+
+
+def test_fig8b_q1_ease(benchmark, suite):
+    materials = _materials(suite)
+    population = LearnerPopulation(43, seed=81)
+    results = benchmark(lambda: q1_ease_of_understanding(materials, population))
+    print_table(
+        "Figure 8(b) — Q1: how easy is each format to understand?",
+        ["format", "1", "2", "3", "4", "5", ">3"],
+        [[fmt, *dist.as_row(), f"{dist.fraction_above():.1%}"] for fmt, dist in results.items()],
+    )
+    assert results["nl-rule"].fraction_above() > results["json"].fraction_above()
+    assert results["nl-neural"].fraction_above() > results["json"].fraction_above()
+    assert results["visual-tree"].fraction_above() >= results["json"].fraction_above()
+
+
+def test_fig8c_q2_quality(benchmark, suite, capsys):
+    neural = suite.variant("base").neural
+    profile = neural.token_error_profile(neural.dataset.validation_samples[:30], beam_size=2)
+    total = max(sum(profile.values()), 1)
+    wrong_ratio = (profile["one_wrong_token"] + 3 * profile["several_wrong_tokens"]) / (total * 20)
+    population = LearnerPopulation(43, seed=82)
+    results = benchmark(
+        lambda: q2_description_quality(population, {"nl-rule": 0.0, "nl-neural": wrong_ratio})
+    )
+    print("\n=== Figure 8(c) — Q2: how well does LANTERN describe the plans? ===")
+    print(format_likert_table(results))
+    assert results["nl-rule"].fraction_above() >= 0.6
+    assert results["nl-neural"].fraction_above() >= 0.55
+    assert results["nl-rule"].fraction_above() >= results["nl-neural"].fraction_above() - 0.1
+
+
+def test_fig8d_q3_preference(benchmark, suite):
+    materials = _materials(suite)
+    population = LearnerPopulation(43, seed=83)
+    shares = benchmark(lambda: q3_preferred_format(materials, population))
+    print_table(
+        "Figure 8(d) — Q3: most preferred format",
+        ["format", "share"],
+        [[fmt, f"{share:.1%}"] for fmt, share in shares.ranking()],
+    )
+    nl_share = shares.share("nl-rule") + shares.share("nl-neural")
+    assert nl_share > shares.share("json")
+    assert nl_share > shares.share("visual-tree") - 0.05
+    assert shares.share("json") < 0.3

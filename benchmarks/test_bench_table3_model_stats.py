@@ -1,0 +1,57 @@
+"""Table 3 — QEP2Seq parameter statistics per embedding family.
+
+Paper shape: the total parameter count and the decoder's recurrent-connection
+count grow with the embedding dimension (GloVe 100 < Word2Vec 128 < BERT 768
+< ELMo 1024); the encoder contribution stays constant.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.nlg.embeddings import EMBEDDING_DIMENSIONS
+from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
+from repro.nlg.vocab import Vocabulary
+
+#: the paper's vocabulary sizes (input 36, output 62) and 256-cell LSTM
+INPUT_VOCAB = 36
+OUTPUT_VOCAB = 62
+
+
+def _build(dimension: int) -> QEP2Seq:
+    input_vocabulary = Vocabulary([f"i{i}" for i in range(INPUT_VOCAB - 4)])
+    output_vocabulary = Vocabulary([f"o{i}" for i in range(OUTPUT_VOCAB - 4)])
+    pretrained = np.zeros((len(output_vocabulary), dimension))
+    return QEP2Seq(
+        input_vocabulary, output_vocabulary,
+        Seq2SeqConfig(hidden_dim=256, encoder_embedding_dim=16),
+        decoder_pretrained=pretrained,
+    )
+
+
+def test_table3_model_statistics(benchmark, suite):
+    families = ["word2vec", "glove", "bert", "elmo"]
+
+    def build_all():
+        return {family: _build(EMBEDDING_DIMENSIONS[family]) for family in families}
+
+    models = benchmark(build_all)
+    rows = []
+    totals = {}
+    for family in families:
+        model = models[family]
+        encoder_connections, decoder_connections = model.recurrent_connection_counts()
+        totals[family] = model.parameter_count()
+        rows.append([
+            f"QEP2Seq+{family}", EMBEDDING_DIMENSIONS[family], model.parameter_count(),
+            encoder_connections + decoder_connections,
+            f"({encoder_connections}, {decoder_connections})",
+        ])
+    print_table(
+        "Table 3 — LSTM statistics per embedding",
+        ["method", "dim", "#parameters", "#recurrent", "(encoder, decoder)"],
+        rows,
+    )
+    # ordering follows embedding dimension, as in the paper
+    assert totals["glove"] < totals["word2vec"] < totals["bert"] < totals["elmo"]
+    encoder_counts = {f: models[f].recurrent_connection_counts()[0] for f in families}
+    assert len(set(encoder_counts.values())) == 1

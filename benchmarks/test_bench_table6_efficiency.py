@@ -1,0 +1,61 @@
+"""Table 6 — efficiency: training time, per-epoch time, SQL generation, response times.
+
+Paper shape: training dominates (hundreds of seconds on their GPU box), one
+epoch takes seconds, generating a thousand random queries takes under a
+second, and the average per-description response time of NEURAL-LANTERN is an
+order of magnitude larger than RULE-LANTERN's (0.216 s vs 0.015 s) while both
+stay interactive (< 1 s).
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.core.acts import align_acts_with_narration, decompose_lot_into_acts
+from repro.workloads.generator import RandomQueryGenerator
+from repro.workloads.imdb import IMDB_JOIN_GRAPH
+
+
+def test_table6_efficiency(benchmark, suite):
+    variant = suite.variant("base")
+    lantern = suite.lantern()
+    imdb = suite.imdb()
+
+    def measure():
+        timings = {}
+        timings["training_total_s"] = variant.history.total_seconds
+        timings["training_per_epoch_s"] = variant.history.average_epoch_seconds
+
+        started = time.perf_counter()
+        generator = RandomQueryGenerator(imdb, IMDB_JOIN_GRAPH, seed=42)
+        queries = generator.generate(200)
+        timings["sql_generation_200_queries_s"] = time.perf_counter() - started
+
+        rule_times, neural_times = [], []
+        for generated in queries[:25]:
+            started = time.perf_counter()
+            tree = lantern.plan_for_sql(imdb, generated.sql)
+            narration = lantern.describe_plan(tree)
+            rule_times.append(time.perf_counter() - started)
+
+            acts = align_acts_with_narration(decompose_lot_into_acts(narration.lot), narration)
+            started = time.perf_counter()
+            for act, step in zip(acts, narration.steps):
+                variant.neural.translate_step(act, step)
+            neural_times.append(time.perf_counter() - started)
+        timings["rule_lantern_avg_response_s"] = sum(rule_times) / len(rule_times)
+        timings["neural_lantern_avg_response_s"] = sum(neural_times) / len(neural_times)
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Table 6 — efficiency (seconds)",
+        ["step", "time (s)"],
+        [[key, f"{value:.3f}"] for key, value in timings.items()],
+    )
+    # shape: rule-based narration is much faster than neural decoding,
+    # both are interactive, and SQL generation is cheap
+    assert timings["rule_lantern_avg_response_s"] < timings["neural_lantern_avg_response_s"]
+    assert timings["rule_lantern_avg_response_s"] < 0.5
+    assert timings["sql_generation_200_queries_s"] < 5.0
+    assert timings["training_per_epoch_s"] > timings["rule_lantern_avg_response_s"]

@@ -1,0 +1,77 @@
+"""Table 7 — boredom index per method, plus the mixed-stream marking study (US 3).
+
+Paper shape: RULE-LANTERN and NEURON (both fixed-wording rule systems) bore a
+substantial fraction of learners; NEURAL-LANTERN and the combined LANTERN
+shift the distribution towards "not boring"; in the mixed stream, rule output
+gets marked as boring more often and neural output arouses interest more often.
+"""
+
+from conftest import print_table
+
+from repro.baselines import Neuron
+from repro.core.acts import align_acts_with_narration, decompose_lot_into_acts
+from repro.core.lantern import LanternConfig, Lantern
+from repro.study import LearnerPopulation
+from repro.study.experiments import boredom_study, mixed_output_marking
+from repro.workloads.generator import RandomQueryGenerator
+from repro.workloads.imdb import IMDB_JOIN_GRAPH
+
+QUERY_COUNT = 50
+
+
+def _sequences(suite):
+    imdb = suite.imdb()
+    neural = suite.variant("base").neural
+    # seed=None: the SME specified a single description per operator, so the
+    # rule-based narrations repeat the exact same wording (the paper's setting)
+    rule_lantern = Lantern(store=suite.store, config=LanternConfig(seed=None))
+    combined = Lantern(
+        store=suite.store, neural=neural, config=LanternConfig(frequency_threshold=5, seed=None)
+    )
+    neuron = Neuron()
+    generator = RandomQueryGenerator(imdb, IMDB_JOIN_GRAPH, seed=70, max_joins=2)
+    queries = [generated.sql for generated in generator.generate(QUERY_COUNT)]
+
+    sequences = {"rule-lantern": [], "neural-lantern": [], "neuron": [], "lantern": []}
+    for sql in queries:
+        tree = rule_lantern.plan_for_sql(imdb, sql)
+        rule = rule_lantern.describe_plan(tree)
+        sequences["rule-lantern"].extend(step.text for step in rule.steps)
+        neuron_narration = neuron.try_narrate(tree)
+        if neuron_narration is not None:
+            sequences["neuron"].extend(step.text for step in neuron_narration.steps)
+        acts = align_acts_with_narration(decompose_lot_into_acts(rule.lot), rule)
+        sequences["neural-lantern"].extend(
+            neural.translate_step(act, step) for act, step in zip(acts, rule.steps)
+        )
+        combined_narration = combined.describe_plan(tree, mode="auto")
+        sequences["lantern"].extend(step.text for step in combined_narration.steps)
+    return sequences
+
+
+def test_table7_boredom_index(benchmark, suite):
+    sequences = _sequences(suite)
+    population = LearnerPopulation(43, seed=73)
+    results = benchmark.pedantic(lambda: boredom_study(sequences, population), rounds=1, iterations=1)
+    print_table(
+        "Table 7 — boredom index (1 = not boring, 5 = extremely boring)",
+        ["method", "1", "2", "3", "4", "5", "mean"],
+        [[method, *distribution.as_row(), f"{distribution.mean():.2f}"]
+         for method, distribution in results.items()],
+    )
+    assert results["neural-lantern"].mean() <= results["rule-lantern"].mean()
+    assert results["lantern"].mean() <= results["neuron"].mean()
+    # rule-only systems leave more learners in the bored (>3) region
+    assert results["rule-lantern"].fraction_above(3) >= results["neural-lantern"].fraction_above(3)
+
+    # second part of US 3: mixed stream of 36 rule + 14 neural outputs
+    labelled = [("rule", text) for text in sequences["rule-lantern"][:36]]
+    labelled += [("neural", text) for text in sequences["neural-lantern"][:14]]
+    marks = mixed_output_marking(labelled, population)
+    print_table(
+        "US 3 — mixed-stream marking",
+        ["generator", "shown", "marked boring", "aroused interest"],
+        [[label, data["total"], data["marked"], data["aroused_interest"]]
+         for label, data in sorted(marks.items())],
+    )
+    assert marks["rule"]["marked"] >= marks["neural"]["marked"]

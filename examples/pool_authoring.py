@@ -1,0 +1,63 @@
+"""Authoring operator labels with POOL (the subject-matter-expert workflow).
+
+Shows the declarative side of LANTERN (paper §4): creating a new operator
+object for a third engine (DB2's zigzag join), querying the POEM store,
+composing description templates, and transferring descriptions across
+engines with UPDATE ... REPLACE — then narrating a plan with the edited
+labels to show that wording changes require no code changes.
+
+Run with:  python examples/pool_authoring.py
+"""
+
+from repro.core import Lantern
+from repro.pool import PoolSession, build_default_store
+from repro.workloads import build_dblp_database
+
+
+def main() -> None:
+    store = build_default_store()
+    session = PoolSession(store)
+
+    print("== retrieval ==")
+    print(session.execute("SELECT defn FROM pg WHERE name = 'hashjoin'"))
+    print([obj.name for obj in session.execute("SELECT * FROM pg WHERE name LIKE '%join'")])
+    print("compiled SQL:", session.compiled_sql("SELECT defn FROM pg WHERE name = 'hashjoin'"))
+
+    print("\n== template composition (COMPOSE) ==")
+    print(session.execute("COMPOSE hash FROM pg"))
+    print(session.execute(
+        "COMPOSE hash, hashjoin FROM pg USING hashjoin.desc = 'perform hash join on'"
+    ))
+
+    print("\n== creating an operator for another engine (DB2 zigzag join) ==")
+    session.execute(
+        "CREATE POPERATOR zzjoin FOR db2 (ALIAS = 'zigzag join', TYPE = 'binary', "
+        "DESC = 'perform zigzag join on', COND = 'true')"
+    )
+    session.execute(
+        "UPDATE db2 SET defn = (SELECT defn FROM pg WHERE pg.name = 'hashjoin') "
+        "WHERE db2.name = 'zzjoin'"
+    )
+    print(session.execute("SELECT alias, defn FROM db2 WHERE name = 'zzjoin'"))
+
+    print("\n== transferring a description with REPLACE ==")
+    session.execute(
+        "UPDATE pg SET desc = REPLACE((SELECT desc FROM pg AS pg2 WHERE pg2.name = 'hashjoin'), "
+        "'hash', 'nested loop') WHERE pg.name = 'nestedloop'"
+    )
+    print("nested loop description is now:", store.get("pg", "nestedloop").description)
+
+    print("\n== the edited labels flow straight into the narration ==")
+    session.execute(
+        "UPDATE pg SET desc = 'read one after another every row of' WHERE pg.name = 'seqscan'"
+    )
+    database = build_dblp_database(publication_count=500)
+    lantern = Lantern(store=store)
+    narration = lantern.describe_sql(
+        database, "SELECT count(*) FROM publication p WHERE p.year > 2015"
+    )
+    print(lantern.render(narration))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: narrate the execution plan of a SQL query.
+
+Builds the small DBLP-style teaching database, asks the mini engine for the
+query execution plan of the paper's running example (Example 3.1), and prints
+the three QEP formats learners are shown: the raw EXPLAIN JSON, the visual
+operator tree, and the RULE-LANTERN natural-language description.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import Lantern
+from repro.plans.visual import render_visual_tree
+from repro.workloads import build_dblp_database
+
+QUERY = """
+    SELECT DISTINCT i.proceeding_key
+    FROM inproceedings i, publication p
+    WHERE i.paper_key = p.pub_key AND p.title LIKE '%July%'
+    GROUP BY i.proceeding_key
+    HAVING count(*) > 2
+"""
+
+
+def main() -> None:
+    database = build_dblp_database()
+    lantern = Lantern()
+
+    print("=" * 72)
+    print("1. The raw plan (what PostgreSQL-style EXPLAIN JSON looks like)")
+    print("=" * 72)
+    explain_json = database.explain(QUERY, output_format="json")
+    print(explain_json[:800] + "\n... (truncated)\n")
+
+    tree = lantern.parse_plan(explain_json, "postgres-json")
+
+    print("=" * 72)
+    print("2. The visual operator tree")
+    print("=" * 72)
+    print(render_visual_tree(tree, show_details=True))
+    print()
+
+    print("=" * 72)
+    print("3. The RULE-LANTERN natural-language description")
+    print("=" * 72)
+    narration = lantern.describe_plan(tree)
+    print(lantern.render(narration))
+    print()
+
+    print("Definition lookup (the POOL 'defn' attribute):")
+    from repro.core.rule_lantern import RuleLantern
+
+    narrator = RuleLantern(lantern.store, poem_source="pg")
+    for operator in ("Hash Join", "Seq Scan", "Unique"):
+        print(" *", narrator.describe_operator(operator))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Train NEURAL-LANTERN end to end and compare it with RULE-LANTERN.
+
+Reproduces the §6 pipeline at laptop scale: generate random queries over the
+DBLP schema, build the act→description training set (with paraphrase
+diversification and Table 1 tags), train the QEP2Seq model, and then narrate
+an unseen query with both generators so the wording difference is visible.
+
+Run with:  python examples/train_neural_lantern.py          (about a minute)
+"""
+
+from repro.core import Lantern, LanternConfig
+from repro.nlg.neural_lantern import NeuralLantern
+from repro.nlg.seq2seq import Seq2SeqConfig
+from repro.workloads import build_dblp_database
+from repro.workloads.dblp import DBLP_JOIN_GRAPH
+from repro.workloads.generator import RandomQueryGenerator
+
+
+def main() -> None:
+    database = build_dblp_database(publication_count=600)
+    generator = RandomQueryGenerator(database, DBLP_JOIN_GRAPH, seed=1)
+    training_queries = [generated.sql for generated in generator.generate(40)]
+
+    print(f"training NEURAL-LANTERN on {len(training_queries)} random DBLP queries ...")
+    neural, result = NeuralLantern.fit(
+        workloads=[(database, training_queries, "postgresql", "dblp")],
+        config=Seq2SeqConfig(hidden_dim=64, attention_dim=32, learning_rate=0.01, batch_size=8),
+        embedding_family="word2vec",
+        pretrained_embeddings=True,
+        epochs=10,
+    )
+    final = result.history.final
+    print(
+        f"dataset: {result.dataset.size} samples | "
+        f"final validation loss {final.validation_loss:.3f}, accuracy {final.validation_accuracy:.2f}"
+    )
+
+    lantern = Lantern(neural=neural, config=LanternConfig(frequency_threshold=3))
+    unseen_query = (
+        "SELECT i.venue, count(*) AS papers FROM inproceedings i, publication p "
+        "WHERE i.paper_key = p.pub_key AND p.year > 2012 "
+        "GROUP BY i.venue ORDER BY papers DESC LIMIT 5"
+    )
+    tree = lantern.plan_for_sql(database, unseen_query)
+
+    print("\n--- RULE-LANTERN ---")
+    print(lantern.render(lantern.describe_plan(tree, mode="rule")))
+    print("\n--- NEURAL-LANTERN (diversified wording, same facts) ---")
+    print(lantern.render(lantern.describe_plan(tree, mode="neural")))
+
+    bleu = neural.test_bleu(result.dataset.validation_samples[:20], beam_size=2)
+    print(f"\nvalidation BLEU (beam 2, 20 samples): {bleu:.1f}")
+
+
+if __name__ == "__main__":
+    main()

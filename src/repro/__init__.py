@@ -1,0 +1,55 @@
+"""repro — a reproduction of LANTERN (SIGMOD 2021).
+
+LANTERN generates natural-language descriptions of query execution plans to
+help database-course learners understand how SQL queries are executed.  This
+package re-implements the complete system described in the paper, plus every
+substrate it depends on:
+
+* :mod:`repro.sqlengine` — a mini relational engine (parser, optimizer,
+  executor, EXPLAIN in PostgreSQL-JSON and SQL Server-XML dialects) standing
+  in for the commercial RDBMSs;
+* :mod:`repro.plans` — engine-neutral operator trees parsed from those
+  dialects;
+* :mod:`repro.pool` — the POOL/POEM declarative operator-labelling framework;
+* :mod:`repro.core` — RULE-LANTERN (the rule-based narrator), act
+  decomposition, presentation modes, and the LANTERN facade;
+* :mod:`repro.nlg` — NEURAL-LANTERN: paraphrasing tools, word embeddings,
+  the QEP2Seq encoder/decoder with attention, training and metrics;
+* :mod:`repro.baselines` — the NEURON baseline;
+* :mod:`repro.workloads` — TPC-H / SDSS / IMDB / DBLP style schemas, data
+  generators, and query workloads;
+* :mod:`repro.study` — the simulated learner population used to regenerate
+  the paper's user studies.
+
+Quickstart::
+
+    from repro.workloads import build_dblp_database
+    from repro.core import Lantern
+
+    db = build_dblp_database()
+    lantern = Lantern()
+    narration = lantern.describe_sql(db, "SELECT count(*) FROM publication p WHERE p.year > 2010")
+    print(lantern.render(narration))
+"""
+
+from repro.core import Lantern, LanternConfig, Narration, RuleLantern
+from repro.plans import OperatorTree, parse_postgres_json, parse_sqlserver_xml
+from repro.pool import PoolSession, build_default_store
+from repro.sqlengine import Database, DataType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "DataType",
+    "Lantern",
+    "LanternConfig",
+    "Narration",
+    "OperatorTree",
+    "PoolSession",
+    "RuleLantern",
+    "build_default_store",
+    "parse_postgres_json",
+    "parse_sqlserver_xml",
+    "__version__",
+]

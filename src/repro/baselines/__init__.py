@@ -1,0 +1,5 @@
+"""Baselines LANTERN is compared against (paper §7, US 5)."""
+
+from repro.baselines.neuron import Neuron
+
+__all__ = ["Neuron"]

@@ -1,0 +1,135 @@
+"""NEURON [Liu et al., SIGMOD 2019]: the rule-based baseline.
+
+NEURON also narrates QEPs, but its translation rules are *hard-coded for
+PostgreSQL operator names* — it exposes no declarative layer like POOL.  The
+consequence measured in US 5 is that plans whose operators carry SQL Server
+names (Table Scan, Hash Match, ...) cannot be translated even when NEURON is
+given a parsed operator tree.  This module reproduces exactly that behaviour:
+a fixed rule table keyed by PostgreSQL operator names and a strict failure on
+anything else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.narration import Narration, NarrationStep
+from repro.errors import NarrationError
+from repro.plans.operator_tree import OperatorNode, OperatorTree
+
+#: Hard-coded PostgreSQL translation rules (operator name -> sentence stem).
+_HARDCODED_RULES: dict[str, str] = {
+    "seq scan": "perform sequential scan on {relation}",
+    "parallel seq scan": "perform parallel sequential scan on {relation}",
+    "index scan": "perform index scan on {relation}",
+    "index only scan": "perform index only scan on {relation}",
+    "bitmap heap scan": "perform bitmap heap scan on {relation}",
+    "bitmap index scan": "perform bitmap index scan on {relation}",
+    "hash join": "hash {inner} and perform hash join on {outer} and {inner}",
+    "merge join": "perform merge join on {outer} and {inner}",
+    "nested loop": "perform nested loop join on {outer} and {inner}",
+    "hash": "hash {input}",
+    "sort": "sort {input}",
+    "materialize": "materialize {input}",
+    "gather": "gather parallel results of {input}",
+    "aggregate": "perform aggregate on {input}",
+    "groupaggregate": "perform aggregate on {input}",
+    "hashaggregate": "perform aggregate on {input}",
+    "unique": "perform duplicate removal on {input}",
+    "limit": "limit the rows of {input}",
+    "result": "compute the result of {input}",
+}
+
+#: operators folded into their parent step, as NEURON does for PostgreSQL.
+_AUXILIARY = {"hash", "sort", "materialize"}
+
+
+class Neuron:
+    """The NEURON baseline narrator (PostgreSQL only, fixed wording)."""
+
+    name = "neuron"
+
+    def supports(self, tree: OperatorTree) -> bool:
+        """Whether every operator of the plan has a hard-coded rule."""
+        return all(node.name.lower() in _HARDCODED_RULES for node in tree.walk())
+
+    def narrate(self, tree: OperatorTree) -> Narration:
+        """Narrate a PostgreSQL plan; raises on unknown (e.g. SQL Server) operators."""
+        unsupported = sorted(
+            {node.name for node in tree.walk() if node.name.lower() not in _HARDCODED_RULES}
+        )
+        if unsupported:
+            raise NarrationError(
+                "NEURON has no translation rule for operators "
+                + ", ".join(unsupported)
+                + " (its rules are hard-coded for PostgreSQL)"
+            )
+        steps: list[NarrationStep] = []
+        counter = 0
+        identifiers: dict[int, str] = {}
+
+        def reference(node: OperatorNode) -> str:
+            if id(node) in identifiers:
+                return identifiers[id(node)]
+            if node.relation:
+                return node.relation
+            if node.children:
+                return reference(node.children[0])
+            return "its input"
+
+        def visit(node: OperatorNode, is_root: bool) -> None:
+            nonlocal counter
+            for child in node.children:
+                visit(child, False)
+            name = node.name.lower()
+            if name in _AUXILIARY and not is_root:
+                return
+            rule = _HARDCODED_RULES[name]
+            children = node.children
+            outer = reference(children[0]) if children else (node.relation or "its input")
+            inner = reference(children[1]) if len(children) > 1 else outer
+            text = rule.format(
+                relation=node.relation or "the relation",
+                outer=outer,
+                inner=inner,
+                input=outer,
+            )
+            if node.join_condition:
+                text += f" on condition {node.join_condition}"
+            if node.filter_condition:
+                text += f" and filtering on ({node.filter_condition})"
+            if node.group_keys:
+                text += f" with grouping on attribute {', '.join(node.group_keys)}"
+            if is_root:
+                text += " to get the final results."
+            else:
+                counter += 1
+                identifiers[id(node)] = f"T{counter}"
+                text += f" to get the intermediate relation T{counter}."
+            steps.append(
+                NarrationStep(
+                    index=len(steps) + 1,
+                    text=text,
+                    operator_names=[node.name],
+                    relations=[node.relation] if node.relation else [],
+                    filter_condition=node.filter_condition,
+                    join_condition=node.join_condition,
+                    group_keys=node.group_keys,
+                    sort_keys=node.sort_keys,
+                    intermediate=identifiers.get(id(node)),
+                    is_final=is_root,
+                    generator="neuron",
+                )
+            )
+
+        visit(tree.root, True)
+        return Narration(
+            steps=steps, source=tree.source, query_text=tree.query_text, generator="neuron"
+        )
+
+    def try_narrate(self, tree: OperatorTree) -> Optional[Narration]:
+        """Narrate if supported, else ``None`` (used by the US 5 comparison)."""
+        try:
+            return self.narrate(tree)
+        except NarrationError:
+            return None

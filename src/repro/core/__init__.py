@@ -1,0 +1,37 @@
+"""The LANTERN core: rule-based narration of query execution plans.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.lot` — the language-annotated operator tree (LOT);
+* :mod:`repro.core.clustering` — auxiliary/critical operator clustering;
+* :mod:`repro.core.rule_lantern` — Algorithm 1, the rule-based narrator;
+* :mod:`repro.core.acts` — decomposition of a QEP into acts (the neural
+  model's translation unit);
+* :mod:`repro.core.tags` — the special-tag abstraction of Table 1;
+* :mod:`repro.core.presentation` — document-style and annotated-tree
+  presentation of a narration;
+* :mod:`repro.core.lantern` — the end-to-end facade combining the rule-based
+  and neural generators.
+"""
+
+from repro.core.acts import Act, decompose_into_acts
+from repro.core.lantern import Lantern, LanternConfig
+from repro.core.lot import LanguageAnnotatedTree, LotNode, build_lot
+from repro.core.narration import Narration, NarrationStep
+from repro.core.rule_lantern import RuleLantern
+from repro.core.tags import SPECIAL_TAGS, abstract_step_text
+
+__all__ = [
+    "Act",
+    "Lantern",
+    "LanternConfig",
+    "LanguageAnnotatedTree",
+    "LotNode",
+    "Narration",
+    "NarrationStep",
+    "RuleLantern",
+    "SPECIAL_TAGS",
+    "abstract_step_text",
+    "build_lot",
+    "decompose_into_acts",
+]

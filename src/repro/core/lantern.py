@@ -1,0 +1,196 @@
+"""The end-to-end LANTERN facade.
+
+``Lantern`` glues the pieces together: it accepts a QEP in any supported
+serialization (our mini engine, PostgreSQL EXPLAIN JSON, SQL Server showplan
+XML, or an already-parsed operator tree), narrates it with RULE-LANTERN, and
+— when a neural generator is attached — switches individual steps to
+NEURAL-LANTERN output once an operator has been seen often enough to risk
+boring the learner (the frequency-threshold policy of US 5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.core.acts import Act, align_acts_with_narration, decompose_lot_into_acts
+from repro.core.narration import Narration, NarrationStep
+from repro.core.presentation import DOCUMENT_STYLE, render
+from repro.core.rule_lantern import RuleLantern
+from repro.errors import NarrationError
+from repro.plans.operator_tree import OperatorTree
+from repro.plans.postgres import parse_postgres_json
+from repro.plans.sqlserver import parse_sqlserver_xml
+from repro.pool.catalogs import POSTGRESQL_SOURCE, SQLSERVER_SOURCE, build_default_store
+from repro.pool.poem import PoemStore
+
+#: Mapping from plan provenance to POEM source identifier.
+SOURCE_TO_POEM = {
+    "postgresql": POSTGRESQL_SOURCE,
+    "pg": POSTGRESQL_SOURCE,
+    "sqlserver": SQLSERVER_SOURCE,
+    "mssql": SQLSERVER_SOURCE,
+}
+
+MODE_RULE = "rule"
+MODE_NEURAL = "neural"
+MODE_AUTO = "auto"
+
+
+class StepTranslator(Protocol):
+    """What a neural generator must provide to plug into the facade."""
+
+    def translate_step(self, act: Act, rule_step: NarrationStep) -> str:  # pragma: no cover
+        ...
+
+
+@dataclass
+class LanternConfig:
+    """Behavioural knobs of the facade."""
+
+    #: operator appearance count after which the neural generator takes over
+    frequency_threshold: int = 5
+    #: default presentation mode
+    presentation: str = DOCUMENT_STYLE
+    #: seed used when a POOL description must be picked among several
+    seed: Optional[int] = 7
+
+
+class Lantern:
+    """Generate natural-language descriptions of query execution plans."""
+
+    def __init__(
+        self,
+        store: Optional[PoemStore] = None,
+        neural: Optional[StepTranslator] = None,
+        config: Optional[LanternConfig] = None,
+    ) -> None:
+        self.store = store if store is not None else build_default_store()
+        self.neural = neural
+        self.config = config if config is not None else LanternConfig()
+        self._operator_counts: Counter[str] = Counter()
+        self._narrators: dict[str, RuleLantern] = {}
+
+    # ------------------------------------------------------------------
+    # plan ingestion
+    # ------------------------------------------------------------------
+
+    def parse_plan(self, payload: str, plan_format: str = "postgres-json") -> OperatorTree:
+        """Parse an external plan serialization into an operator tree."""
+        if plan_format in ("postgres-json", "json"):
+            return parse_postgres_json(payload)
+        if plan_format in ("sqlserver-xml", "xml"):
+            return parse_sqlserver_xml(payload)
+        raise NarrationError(f"unknown plan format {plan_format!r}")
+
+    def plan_for_sql(self, database, sql: str, engine: str = "postgresql") -> OperatorTree:
+        """EXPLAIN ``sql`` on a mini-engine database and parse the result.
+
+        ``engine`` selects which serialization dialect is exercised, so the
+        same query can be narrated "as PostgreSQL" or "as SQL Server".
+        """
+        if engine in ("postgresql", "pg"):
+            return parse_postgres_json(database.explain(sql, output_format="json"))
+        if engine in ("sqlserver", "mssql"):
+            return parse_sqlserver_xml(database.explain(sql, output_format="xml"))
+        raise NarrationError(f"unknown engine {engine!r}")
+
+    # ------------------------------------------------------------------
+    # narration
+    # ------------------------------------------------------------------
+
+    def describe_plan(self, tree: OperatorTree, mode: str = MODE_RULE) -> Narration:
+        """Narrate an operator tree using the requested generator."""
+        narrator = self._narrator_for(tree.source)
+        narration = narrator.narrate(tree)
+        if mode == MODE_RULE or self.neural is None:
+            self._record_operators(narration)
+            return narration
+
+        acts = align_acts_with_narration(
+            decompose_lot_into_acts(narration.lot), narration
+        )
+        neural_steps: list[NarrationStep] = []
+        for act, step in zip(acts, narration.steps):
+            use_neural = mode == MODE_NEURAL or (
+                mode == MODE_AUTO and self._is_habituated(step)
+            )
+            if use_neural:
+                text = self.neural.translate_step(act, step)
+                neural_steps.append(
+                    NarrationStep(
+                        index=step.index,
+                        text=text,
+                        operator_names=step.operator_names,
+                        relations=step.relations,
+                        filter_condition=step.filter_condition,
+                        join_condition=step.join_condition,
+                        index_name=step.index_name,
+                        group_keys=step.group_keys,
+                        sort_keys=step.sort_keys,
+                        intermediate=step.intermediate,
+                        is_final=step.is_final,
+                        generator="neural",
+                    )
+                )
+            else:
+                neural_steps.append(step)
+        self._record_operators(narration)
+        return Narration(
+            steps=neural_steps,
+            source=narration.source,
+            query_text=narration.query_text,
+            lot=narration.lot,
+            generator=mode,
+        )
+
+    def describe_sql(
+        self,
+        database,
+        sql: str,
+        engine: str = "postgresql",
+        mode: str = MODE_RULE,
+    ) -> Narration:
+        """Plan ``sql`` on ``database`` and narrate the resulting QEP."""
+        return self.describe_plan(self.plan_for_sql(database, sql, engine), mode=mode)
+
+    def render(self, narration: Narration, tree: OperatorTree | None = None, mode: str | None = None) -> str:
+        """Render a narration in the configured (or given) presentation mode."""
+        return render(narration, tree=tree, mode=mode or self.config.presentation)
+
+    # ------------------------------------------------------------------
+    # habituation bookkeeping (the auto-switch policy)
+    # ------------------------------------------------------------------
+
+    def reset_session(self) -> None:
+        """Forget per-learner operator exposure counts."""
+        self._operator_counts.clear()
+
+    def operator_exposure(self, operator_name: str) -> int:
+        return self._operator_counts[operator_name.lower()]
+
+    def _record_operators(self, narration: Narration) -> None:
+        for step in narration.steps:
+            for name in step.operator_names:
+                self._operator_counts[name.lower()] += 1
+
+    def _is_habituated(self, step: NarrationStep) -> bool:
+        threshold = self.config.frequency_threshold
+        return any(
+            self._operator_counts[name.lower()] >= threshold for name in step.operator_names
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _narrator_for(self, source: str) -> RuleLantern:
+        poem_source = SOURCE_TO_POEM.get(source.lower())
+        if poem_source is None:
+            raise NarrationError(f"no POEM catalog registered for source {source!r}")
+        if poem_source not in self._narrators:
+            self._narrators[poem_source] = RuleLantern(
+                self.store, poem_source=poem_source, seed=self.config.seed
+            )
+        return self._narrators[poem_source]

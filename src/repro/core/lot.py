@@ -1,0 +1,127 @@
+"""The language-annotated operator tree (LOT, paper §5.3).
+
+A LOT extends the operator tree with, per node, the learner-facing name
+(the POEM alias when one exists) and the natural-language description
+template produced by POOL's COMPOSE semantics.  It also carries the unique
+identifiers assigned to intermediate results so that data flow stays explicit
+in the sequential narration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import NarrationError
+from repro.plans.operator_tree import OperatorNode, OperatorTree
+from repro.pool.poem import PoemObject, PoemStore, normalize_operator_name, operator_template
+
+
+@dataclass
+class LotNode:
+    """One node of a language-annotated operator tree."""
+
+    operator: OperatorNode
+    poem: Optional[PoemObject]
+    name: str
+    label: str
+    children: list["LotNode"] = field(default_factory=list)
+    parent: Optional["LotNode"] = None
+    identifier: Optional[str] = None  # e.g. "T1" once assigned
+    is_auxiliary_member: bool = False
+
+    @property
+    def relation(self) -> Optional[str]:
+        return self.operator.relation
+
+    @property
+    def operator_name(self) -> str:
+        return self.operator.name
+
+    def walk(self) -> Iterator["LotNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def post_order(self) -> Iterator["LotNode"]:
+        for child in self.children:
+            yield from child.post_order()
+        yield self
+
+    def reference(self) -> str:
+        """How downstream steps refer to this node's output.
+
+        The identifier (``T3``) when one was assigned; for unfiltered scans
+        the base relation name; otherwise the reference of the only child
+        (pass-through operators such as HASH or MATERIALIZE).
+        """
+        if self.identifier:
+            return self.identifier
+        if self.operator.relation:
+            return self.operator.relation
+        if self.children:
+            return self.children[0].reference()
+        return "its input"
+
+
+@dataclass
+class LanguageAnnotatedTree:
+    """A complete LOT plus provenance."""
+
+    root: LotNode
+    source: str
+    poem_source: str
+    query_text: str = ""
+
+    def walk(self) -> Iterator[LotNode]:
+        return self.root.walk()
+
+    def post_order(self) -> Iterator[LotNode]:
+        return self.root.post_order()
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+
+def lookup_poem(store: PoemStore, poem_source: str, operator_name: str) -> Optional[PoemObject]:
+    """Find the POEM object for an engine operator name, or ``None``."""
+    normalized = normalize_operator_name(operator_name)
+    if store.has(poem_source, normalized):
+        return store.get(poem_source, normalized)
+    return None
+
+
+def build_lot(
+    tree: OperatorTree,
+    store: PoemStore,
+    poem_source: str,
+    strict: bool = False,
+) -> LanguageAnnotatedTree:
+    """Annotate every node of ``tree`` with its name and description template.
+
+    ``strict=True`` raises :class:`NarrationError` when an operator has no
+    POEM entry (this is how the NEURON comparison in US 5 fails on SQL Server
+    plans); otherwise a neutral fall-back label is used.
+    """
+
+    def annotate(node: OperatorNode, parent: Optional[LotNode]) -> LotNode:
+        poem_object = lookup_poem(store, poem_source, node.name)
+        if poem_object is None and strict:
+            raise NarrationError(
+                f"operator {node.name!r} has no description for source {poem_source!r}"
+            )
+        if poem_object is not None:
+            name = poem_object.display_name
+            label = operator_template(poem_object)
+        else:
+            name = node.name
+            label = f"apply the {node.name} operator to $R1$"
+        lot_node = LotNode(operator=node, poem=poem_object, name=name, label=label, parent=parent)
+        for child in node.children:
+            lot_node.children.append(annotate(child, lot_node))
+        return lot_node
+
+    root = annotate(tree.root, None)
+    return LanguageAnnotatedTree(
+        root=root, source=tree.source, poem_source=poem_source, query_text=tree.query_text
+    )

@@ -1,0 +1,56 @@
+"""Presentation layer: how a narration is shown to learners (paper US 6).
+
+Two modes are compared in the paper: the default *document-style* text (one
+numbered step per line, read like a textbook) and a *visual-tree-annotated*
+mode where each node of the operator tree carries its sentence.
+"""
+
+from __future__ import annotations
+
+from repro.core.narration import Narration
+from repro.plans.operator_tree import OperatorNode, OperatorTree
+from repro.plans.visual import render_visual_tree
+
+DOCUMENT_STYLE = "document"
+ANNOTATED_TREE_STYLE = "annotated-tree"
+
+PRESENTATION_MODES = (DOCUMENT_STYLE, ANNOTATED_TREE_STYLE)
+
+
+def render_document(narration: Narration, include_header: bool = True) -> str:
+    """The document-style presentation: a numbered list of steps."""
+    lines: list[str] = []
+    if include_header:
+        lines.append("The query is executed as follows.")
+    for step in narration.steps:
+        lines.append(f"Step {step.index}: {step.text}")
+    return "\n".join(lines)
+
+
+def render_annotated_tree(tree: OperatorTree, narration: Narration) -> str:
+    """The annotated-tree presentation: the visual tree with per-node sentences."""
+    sentences: dict[int, str] = {}
+    remaining = list(narration.steps)
+
+    def annotation(node: OperatorNode) -> str:
+        if id(node) in sentences:
+            return sentences[id(node)]
+        for step in remaining:
+            if node.name in step.operator_names:
+                sentences[id(node)] = step.text
+                remaining.remove(step)
+                return step.text
+        return ""
+
+    return render_visual_tree(tree, show_details=False, annotation=annotation)
+
+
+def render(narration: Narration, tree: OperatorTree | None = None, mode: str = DOCUMENT_STYLE) -> str:
+    """Render a narration in the requested presentation mode."""
+    if mode == DOCUMENT_STYLE:
+        return render_document(narration)
+    if mode == ANNOTATED_TREE_STYLE:
+        if tree is None:
+            raise ValueError("annotated-tree presentation requires the operator tree")
+        return render_annotated_tree(tree, narration)
+    raise ValueError(f"unknown presentation mode {mode!r}; expected one of {PRESENTATION_MODES}")

@@ -1,0 +1,224 @@
+"""RULE-LANTERN: the rule-based narrator (paper §5, Algorithm 1).
+
+Given an operator tree and a POEM store, the narrator builds the LOT,
+clusters auxiliary/critical pairs, and walks the LOT in post-order producing
+one step per non-auxiliary node.  Placeholders of the POOL templates are
+filled with relation names, intermediate-result identifiers, and conditions;
+intermediate results are numbered ``T1, T2, ...`` so data flow stays explicit
+in the sequential text.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.clustering import ClusterPair, cluster, pair_for_critical
+from repro.core.lot import LanguageAnnotatedTree, LotNode, build_lot
+from repro.core.narration import Narration, NarrationStep
+from repro.errors import NarrationError
+from repro.plans.operator_tree import OperatorTree
+from repro.pool.poem import (
+    PLACEHOLDER_CONDITION,
+    PLACEHOLDER_RELATION_1,
+    PLACEHOLDER_RELATION_2,
+    PoemStore,
+    compose_pair_template,
+    operator_template,
+)
+
+_FINAL_SUFFIX = " to get the final results."
+
+
+class RuleLantern:
+    """The rule-based QEP narrator."""
+
+    def __init__(
+        self,
+        store: PoemStore,
+        poem_source: str = "pg",
+        seed: Optional[int] = None,
+        strict: bool = False,
+    ) -> None:
+        self._store = store
+        self._poem_source = poem_source
+        self._rng = random.Random(seed) if seed is not None else None
+        self._strict = strict
+
+    @property
+    def poem_source(self) -> str:
+        return self._poem_source
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def narrate(self, tree: OperatorTree) -> Narration:
+        """Generate the natural-language narration of ``tree`` (Algorithm 1)."""
+        lot = build_lot(tree, self._store, self._poem_source, strict=self._strict)
+        pairs = cluster(lot)
+        steps: list[NarrationStep] = []
+        intermediate_counter = 0
+
+        for node in lot.root.post_order():
+            if node.is_auxiliary_member:
+                continue
+            pair = pair_for_critical(pairs, node)
+            text, metadata = self._translate(node, pair)
+            is_final = node.parent is None
+            intermediate: Optional[str] = None
+            if is_final:
+                text += _FINAL_SUFFIX
+            elif self._produces_intermediate(node):
+                intermediate_counter += 1
+                intermediate = f"T{intermediate_counter}"
+                node.identifier = intermediate
+                text += f" to get the intermediate relation {intermediate}."
+            else:
+                text += "."
+            steps.append(
+                NarrationStep(
+                    index=len(steps) + 1,
+                    text=text,
+                    operator_names=metadata["operators"],
+                    relations=metadata["relations"],
+                    filter_condition=metadata["filter"],
+                    join_condition=metadata["join"],
+                    index_name=metadata["index"],
+                    group_keys=metadata["group_keys"],
+                    sort_keys=metadata["sort_keys"],
+                    intermediate=intermediate,
+                    is_final=is_final,
+                    generator="rule",
+                )
+            )
+
+        return Narration(
+            steps=steps,
+            source=tree.source,
+            query_text=tree.query_text,
+            lot=lot,
+            generator="rule",
+        )
+
+    def describe_operator(self, operator_name: str) -> str:
+        """The definition of an operator, for learner Q&A-style usage."""
+        from repro.pool.poem import normalize_operator_name
+
+        normalized = normalize_operator_name(operator_name)
+        if not self._store.has(self._poem_source, normalized):
+            raise NarrationError(
+                f"operator {operator_name!r} is unknown for source {self._poem_source!r}"
+            )
+        poem_object = self._store.get(self._poem_source, normalized)
+        definition = poem_object.defn or "no definition has been provided"
+        return f"{poem_object.display_name}: {definition}"
+
+    # ------------------------------------------------------------------
+    # step translation
+    # ------------------------------------------------------------------
+
+    def _translate(self, node: LotNode, pair: Optional[ClusterPair]):
+        operator = node.operator
+        if pair is not None:
+            template = compose_pair_template(
+                pair.auxiliary.poem,
+                pair.critical.poem,
+                critical_description=self._pick(pair.critical),
+                auxiliary_description=self._pick(pair.auxiliary),
+            )
+            auxiliary_input = self._auxiliary_input_reference(pair.auxiliary)
+            other_children = [child for child in node.children if child is not pair.auxiliary]
+            other_reference = other_children[0].reference() if other_children else auxiliary_input
+            text = template.replace(PLACEHOLDER_RELATION_1, auxiliary_input)
+            text = text.replace(PLACEHOLDER_RELATION_2, other_reference)
+            operators = [pair.auxiliary.operator_name, node.operator_name]
+        else:
+            template = (
+                operator_template(node.poem, self._pick(node))
+                if node.poem is not None
+                else node.label
+            )
+            references = self._input_references(node)
+            text = template.replace(PLACEHOLDER_RELATION_2, references[0])
+            text = text.replace(
+                PLACEHOLDER_RELATION_1, references[1] if len(references) > 1 else references[0]
+            )
+            operators = [node.operator_name]
+
+        join_condition = operator.join_condition or None
+        if PLACEHOLDER_CONDITION in text:
+            condition = join_condition or operator.index_condition or "the specified condition"
+            text = text.replace(PLACEHOLDER_CONDITION, condition)
+
+        text, metadata = self._append_qualifiers(text, node)
+        metadata["operators"] = operators
+        metadata["join"] = join_condition
+        return text, metadata
+
+    def _append_qualifiers(self, text: str, node: LotNode):
+        """Append filter / grouping / ordering / limit clauses to the step text."""
+        operator = node.operator
+        relations = [operator.relation] if operator.relation else []
+        filter_condition = operator.filter_condition
+        index_name = operator.attributes.get("index")
+        group_keys = operator.group_keys
+        sort_keys = operator.sort_keys
+        aggregates = operator.aggregates
+
+        if operator.index_condition and "on condition" not in text:
+            text += f" matching the index condition ({operator.index_condition})"
+        if filter_condition:
+            text += f" and filtering on ({filter_condition})"
+        if group_keys:
+            noun = "attribute" if len(group_keys) == 1 else "attributes"
+            text += f" with grouping on {noun} {', '.join(group_keys)}"
+        if aggregates:
+            text += f" to compute {', '.join(aggregates)}"
+        if sort_keys and not node.is_auxiliary_member and "sort" in text.split()[0]:
+            text += f" in the order of {', '.join(sort_keys)}"
+        limit = operator.attributes.get("limit")
+        if limit is not None:
+            text += f" keeping only the first {limit} rows"
+
+        metadata = {
+            "relations": relations,
+            "filter": filter_condition,
+            "index": index_name,
+            "group_keys": group_keys,
+            "sort_keys": sort_keys,
+        }
+        return text, metadata
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _pick(self, node: LotNode) -> Optional[str]:
+        if node.poem is None:
+            return None
+        return node.poem.pick_description(self._rng)
+
+    def _auxiliary_input_reference(self, auxiliary: LotNode) -> str:
+        """What the auxiliary operator works on: its child's output (or relation)."""
+        if auxiliary.children:
+            return auxiliary.children[0].reference()
+        if auxiliary.relation:
+            return auxiliary.relation
+        return "its input"
+
+    def _input_references(self, node: LotNode) -> list[str]:
+        """References to this node's inputs: base relation for scans, children otherwise."""
+        if node.operator.relation and not node.children:
+            return [node.operator.relation]
+        if node.children:
+            return [child.reference() for child in node.children]
+        return [node.reference()]
+
+    def _produces_intermediate(self, node: LotNode) -> bool:
+        """Whether the node's output differs from a base relation (paper §5.5)."""
+        operator = node.operator
+        if not node.children and operator.relation:
+            # an unfiltered scan is just the base relation
+            return bool(operator.filter_condition or operator.index_condition)
+        return True

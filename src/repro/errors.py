@@ -1,0 +1,71 @@
+"""Exception hierarchy shared across the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch library errors without accidentally swallowing programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the mini SQL engine."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class CatalogError(SQLError):
+    """A referenced table, column, or index does not exist (or already does)."""
+
+
+class ExecutionError(SQLError):
+    """A runtime failure while executing a physical plan."""
+
+
+class PlanningError(SQLError):
+    """The optimizer could not produce a plan for a parsed statement."""
+
+
+class PlanFormatError(ReproError):
+    """A serialized plan (PostgreSQL JSON / SQL Server XML) is malformed."""
+
+
+class PoolError(ReproError):
+    """Base class for POOL language errors."""
+
+
+class PoolSyntaxError(PoolError):
+    """A POOL statement could not be parsed."""
+
+
+class PoolSemanticError(PoolError):
+    """A POOL statement references unknown sources, operators, or attributes."""
+
+
+class NarrationError(ReproError):
+    """RULE-LANTERN could not narrate an operator tree."""
+
+
+class NLGError(ReproError):
+    """Base class for neural-generation errors (vocabulary, model, decoding)."""
+
+
+class VocabularyError(NLGError):
+    """A token is missing from a closed vocabulary."""
+
+
+class ModelConfigError(NLGError):
+    """Inconsistent neural model configuration (shapes, missing embeddings)."""
+
+
+class WorkloadError(ReproError):
+    """A workload/schema/data-generation request is invalid."""
+
+
+class StudyError(ReproError):
+    """A user-study simulation request is invalid."""

@@ -1,0 +1,35 @@
+"""NEURAL-LANTERN: the deep-learning generation stack (paper §6).
+
+Sub-packages:
+
+* :mod:`repro.nlg.nn` — a NumPy neural-network substrate (LSTM, additive
+  attention, dense/embedding layers, losses, optimizers);
+* :mod:`repro.nlg.embeddings` — from-scratch Word2Vec, GloVe, and contextual
+  (ELMo-style, BERT-style) word embeddings plus the corpora they are
+  pre-trained on;
+* :mod:`repro.nlg.paraphrase` — the three paraphrasing tools used to
+  diversify training targets;
+* :mod:`repro.nlg.dataset` — training-sample generation from acts;
+* :mod:`repro.nlg.seq2seq` — the QEP2Seq encoder/decoder with attention and
+  beam search;
+* :mod:`repro.nlg.training` — training loops with teacher forcing and early
+  stopping;
+* :mod:`repro.nlg.metrics` — BLEU, Self-BLEU, and sparse categorical accuracy;
+* :mod:`repro.nlg.neural_lantern` — the NEURAL-LANTERN facade that plugs into
+  :class:`repro.core.Lantern`.
+"""
+
+from repro.nlg.metrics import bleu_score, self_bleu, sparse_categorical_accuracy
+from repro.nlg.neural_lantern import NeuralLantern
+from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
+from repro.nlg.vocab import Vocabulary
+
+__all__ = [
+    "NeuralLantern",
+    "QEP2Seq",
+    "Seq2SeqConfig",
+    "Vocabulary",
+    "bleu_score",
+    "self_bleu",
+    "sparse_categorical_accuracy",
+]

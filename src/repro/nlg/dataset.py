@@ -1,0 +1,184 @@
+"""Training-data generation for QEP2Seq (paper §6.2–6.3).
+
+For every workload query we obtain the QEP from the mini engine, narrate it
+with RULE-LANTERN, decompose it into acts, abstract each step's
+schema-dependent values into the Table 1 tags, and optionally expand the
+target side with the three paraphrasing tools.  The result is a set of
+(act tokens → description tokens) pairs plus the vocabularies and the raw
+rule sentences used to pre-train embeddings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.acts import Act, align_acts_with_narration, decompose_lot_into_acts
+from repro.core.lantern import SOURCE_TO_POEM
+from repro.core.narration import NarrationStep
+from repro.core.rule_lantern import RuleLantern
+from repro.core.tags import TagMapping, abstract_step_text
+from repro.nlg.paraphrase import ParaphraseEngine
+from repro.nlg.tokenizer import tokenize
+from repro.nlg.vocab import Vocabulary
+from repro.plans.postgres import parse_postgres_json
+from repro.plans.sqlserver import parse_sqlserver_xml
+from repro.pool.catalogs import build_default_store
+from repro.pool.poem import PoemStore
+
+
+@dataclass
+class TrainingSample:
+    """One (act → description) pair."""
+
+    source_tokens: list[str]
+    target_tokens: list[str]
+    abstracted_text: str
+    origin: str = ""
+    act_key: str = ""
+    is_paraphrase: bool = False
+
+
+@dataclass
+class SampleGroup:
+    """All samples derived from one rule-generated sentence (a Table 4 group)."""
+
+    original: TrainingSample
+    variants: list[TrainingSample] = field(default_factory=list)
+
+    @property
+    def samples(self) -> list[TrainingSample]:
+        return [self.original] + self.variants
+
+
+@dataclass
+class TrainingDataset:
+    """The full dataset: samples, splits, vocabularies, and provenance."""
+
+    samples: list[TrainingSample]
+    groups: list[SampleGroup]
+    train_samples: list[TrainingSample]
+    validation_samples: list[TrainingSample]
+    input_vocabulary: Vocabulary
+    output_vocabulary: Vocabulary
+    rule_sentences: list[str]
+
+    @property
+    def size(self) -> int:
+        return len(self.samples)
+
+
+def abstract_step(step: NarrationStep) -> tuple[str, TagMapping]:
+    """Abstract one narration step into its tagged form."""
+    return abstract_step_text(
+        step.text,
+        relations=step.relations + ([step.intermediate] if step.intermediate else []),
+        filter_condition=step.filter_condition,
+        join_condition=step.join_condition,
+        group_keys=step.group_keys,
+        sort_keys=step.sort_keys,
+        index_name=step.index_name,
+    )
+
+
+def samples_for_database(
+    database,
+    queries: Sequence[str],
+    store: Optional[PoemStore] = None,
+    engine: str = "postgresql",
+    origin: str = "",
+    paraphrase: bool = True,
+    paraphrase_engine: Optional[ParaphraseEngine] = None,
+    seed: int = 7,
+) -> tuple[list[SampleGroup], list[str]]:
+    """Generate sample groups and the raw rule sentences for one workload."""
+    store = store if store is not None else build_default_store()
+    poem_source = SOURCE_TO_POEM[engine]
+    narrator = RuleLantern(store, poem_source=poem_source, seed=seed)
+    engine_paraphraser = paraphrase_engine or ParaphraseEngine()
+    groups: list[SampleGroup] = []
+    rule_sentences: list[str] = []
+
+    for sql in queries:
+        if engine in ("postgresql", "pg"):
+            tree = parse_postgres_json(database.explain(sql, output_format="json"))
+        else:
+            tree = parse_sqlserver_xml(database.explain(sql, output_format="xml"))
+        narration = narrator.narrate(tree)
+        acts = align_acts_with_narration(decompose_lot_into_acts(narration.lot), narration)
+        for act, step in zip(acts, narration.steps):
+            rule_sentences.append(step.text)
+            abstracted, _ = abstract_step(step)
+            source_tokens = act.input_tokens()
+            original = TrainingSample(
+                source_tokens=source_tokens,
+                target_tokens=tokenize(abstracted),
+                abstracted_text=abstracted,
+                origin=origin,
+                act_key=act.key,
+            )
+            group = SampleGroup(original=original)
+            if paraphrase:
+                for variant in engine_paraphraser.expand(abstracted).paraphrases:
+                    group.variants.append(
+                        TrainingSample(
+                            source_tokens=source_tokens,
+                            target_tokens=tokenize(variant),
+                            abstracted_text=variant,
+                            origin=origin,
+                            act_key=act.key,
+                            is_paraphrase=True,
+                        )
+                    )
+            groups.append(group)
+    return groups, rule_sentences
+
+
+def build_dataset(
+    workloads: Sequence[tuple[object, Sequence[str], str, str]],
+    store: Optional[PoemStore] = None,
+    paraphrase: bool = True,
+    validation_fraction: float = 0.2,
+    seed: int = 7,
+) -> TrainingDataset:
+    """Build the full training dataset.
+
+    ``workloads`` is a sequence of (database, queries, engine, origin-name)
+    tuples — e.g. the TPC-H and SDSS workloads of the paper.
+    """
+    store = store if store is not None else build_default_store()
+    all_groups: list[SampleGroup] = []
+    rule_sentences: list[str] = []
+    for database, queries, engine, origin in workloads:
+        groups, sentences = samples_for_database(
+            database,
+            queries,
+            store=store,
+            engine=engine,
+            origin=origin,
+            paraphrase=paraphrase,
+            seed=seed,
+        )
+        all_groups.extend(groups)
+        rule_sentences.extend(sentences)
+
+    samples = [sample for group in all_groups for sample in group.samples]
+    rng = random.Random(seed)
+    shuffled = list(samples)
+    rng.shuffle(shuffled)
+    validation_count = max(int(len(shuffled) * validation_fraction), 1) if shuffled else 0
+    validation_samples = shuffled[:validation_count]
+    train_samples = shuffled[validation_count:]
+
+    input_vocabulary = Vocabulary.from_sequences(sample.source_tokens for sample in samples)
+    output_vocabulary = Vocabulary.from_sequences(sample.target_tokens for sample in samples)
+    return TrainingDataset(
+        samples=samples,
+        groups=all_groups,
+        train_samples=train_samples,
+        validation_samples=validation_samples,
+        input_vocabulary=input_vocabulary,
+        output_vocabulary=output_vocabulary,
+        rule_sentences=rule_sentences,
+    )

@@ -1,0 +1,32 @@
+"""Word embeddings trained from scratch.
+
+The paper initializes the QEP2Seq decoder with pre-trained Word2Vec, GloVe,
+BERT, or ELMo vectors (and compares them with self-trained variants trained
+only on RULE-LANTERN output).  Offline we cannot download those models, so
+each family is trained here on synthetic corpora:
+
+* :mod:`word2vec` — skip-gram with negative sampling;
+* :mod:`glove`    — the GloVe weighted least-squares objective on a
+  co-occurrence matrix, optimized with AdaGrad;
+* :mod:`contextual` — two context-sensitive objectives standing in for the
+  deep contextual models: a masked-token (BERT-style) objective and a
+  bidirectional language-model (ELMo-style) objective;
+* :mod:`corpus`   — the pre-training corpora ("pre-trained" = large general
+  database-domain corpus, "self-trained" = RULE-LANTERN output only);
+* :mod:`registry` — dimension table (Table 3) and a uniform construction API.
+"""
+
+from repro.nlg.embeddings.corpus import build_general_corpus, build_self_trained_corpus
+from repro.nlg.embeddings.registry import (
+    EMBEDDING_DIMENSIONS,
+    EMBEDDING_FAMILIES,
+    build_embedding_matrix,
+)
+
+__all__ = [
+    "EMBEDDING_DIMENSIONS",
+    "EMBEDDING_FAMILIES",
+    "build_embedding_matrix",
+    "build_general_corpus",
+    "build_self_trained_corpus",
+]

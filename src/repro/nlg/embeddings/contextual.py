@@ -1,0 +1,120 @@
+"""Context-sensitive embedding objectives standing in for BERT and ELMo.
+
+The real models cannot be downloaded offline, so each is replaced by the
+*training signal* that characterizes it, implemented on the shared
+negative-sampling trainer:
+
+* **BERT-style**: a masked-token objective — the masked center word is
+  predicted from *both* sides of its context window (bidirectional context,
+  like BERT's masked-language-model loss);
+* **ELMo-style**: a bidirectional language-model objective — a forward model
+  predicts the next token from preceding context and a backward model the
+  previous token from following context; the exported embedding is the
+  concatenation of the two directional vectors, as ELMo concatenates the
+  states of its two LSTM directions.
+
+Both therefore produce vectors shaped by context in a way plain skip-gram is
+not, while remaining cheap enough to train inside a test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nlg.embeddings.word2vec import SgnsTrainer, build_training_vocabulary
+from repro.nlg.vocab import Vocabulary
+
+
+def masked_token_pairs(
+    corpus: Sequence[Sequence[str]], vocabulary: Vocabulary, window: int = 4
+) -> tuple[np.ndarray, np.ndarray]:
+    """(masked center, bidirectional context) pairs — the BERT-style signal."""
+    centers: list[int] = []
+    contexts: list[int] = []
+    for sentence in corpus:
+        ids = [vocabulary.id_of(token) for token in sentence]
+        for position, center in enumerate(ids):
+            start = max(0, position - window)
+            end = min(len(ids), position + window + 1)
+            for context_position in range(start, end):
+                if context_position == position:
+                    continue
+                centers.append(center)
+                contexts.append(ids[context_position])
+    return np.asarray(centers, dtype=np.int64), np.asarray(contexts, dtype=np.int64)
+
+
+def directional_pairs(
+    corpus: Sequence[Sequence[str]], vocabulary: Vocabulary, window: int, forward: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """(token, following-context) pairs for the forward model, or preceding for backward."""
+    centers: list[int] = []
+    contexts: list[int] = []
+    for sentence in corpus:
+        ids = [vocabulary.id_of(token) for token in sentence]
+        for position, center in enumerate(ids):
+            if forward:
+                neighbours = ids[position + 1 : position + 1 + window]
+            else:
+                neighbours = ids[max(0, position - window) : position]
+            for neighbour in neighbours:
+                centers.append(center)
+                contexts.append(neighbour)
+    return np.asarray(centers, dtype=np.int64), np.asarray(contexts, dtype=np.int64)
+
+
+class BertStyleEmbeddings:
+    """Masked-token-objective embeddings (dimension 768 by default, per Table 3)."""
+
+    def __init__(self, dimension: int = 768, window: int = 4, epochs: int = 2, seed: int = 17) -> None:
+        self.dimension = dimension
+        self.window = window
+        self.epochs = epochs
+        self.seed = seed
+        self._trainer: SgnsTrainer | None = None
+
+    def fit(self, corpus: Sequence[Sequence[str]]) -> "BertStyleEmbeddings":
+        vocabulary = build_training_vocabulary(corpus)
+        centers, contexts = masked_token_pairs(corpus, vocabulary, window=self.window)
+        self._trainer = SgnsTrainer(vocabulary, self.dimension, seed=self.seed)
+        self._trainer.train(centers, contexts, epochs=self.epochs)
+        return self
+
+    def embedding_matrix(self, target_vocabulary: Vocabulary) -> np.ndarray:
+        if self._trainer is None:
+            raise RuntimeError("call fit() before embedding_matrix()")
+        return self._trainer.embedding_matrix(target_vocabulary)
+
+
+class ElmoStyleEmbeddings:
+    """Bidirectional language-model embeddings (dimension 1024 = 2 × 512 by default)."""
+
+    def __init__(self, dimension: int = 1024, window: int = 3, epochs: int = 2, seed: int = 19) -> None:
+        if dimension % 2:
+            raise ValueError("ELMo-style dimension must be even (two directions are concatenated)")
+        self.dimension = dimension
+        self.window = window
+        self.epochs = epochs
+        self.seed = seed
+        self._forward: SgnsTrainer | None = None
+        self._backward: SgnsTrainer | None = None
+
+    def fit(self, corpus: Sequence[Sequence[str]]) -> "ElmoStyleEmbeddings":
+        vocabulary = build_training_vocabulary(corpus)
+        half = self.dimension // 2
+        forward_centers, forward_contexts = directional_pairs(corpus, vocabulary, self.window, forward=True)
+        backward_centers, backward_contexts = directional_pairs(corpus, vocabulary, self.window, forward=False)
+        self._forward = SgnsTrainer(vocabulary, half, seed=self.seed)
+        self._forward.train(forward_centers, forward_contexts, epochs=self.epochs)
+        self._backward = SgnsTrainer(vocabulary, half, seed=self.seed + 1)
+        self._backward.train(backward_centers, backward_contexts, epochs=self.epochs)
+        return self
+
+    def embedding_matrix(self, target_vocabulary: Vocabulary) -> np.ndarray:
+        if self._forward is None or self._backward is None:
+            raise RuntimeError("call fit() before embedding_matrix()")
+        forward = self._forward.embedding_matrix(target_vocabulary)
+        backward = self._backward.embedding_matrix(target_vocabulary)
+        return np.concatenate([forward, backward], axis=1)

@@ -1,0 +1,72 @@
+"""Pre-training corpora for the embedding trainers.
+
+``build_self_trained_corpus`` contains only RULE-LANTERN output (the paper's
+"self-trained" condition, whose vectors underperform because the corpus is
+tiny and repetitive).  ``build_general_corpus`` is the stand-in for the large
+external corpora (Wikipedia, books) the real pre-trained vectors come from:
+a much larger, more varied set of sentences about data management, query
+processing, and general usage of the same vocabulary.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.nlg.tokenizer import tokenize
+
+_SUBJECTS = [
+    "the database system", "the query engine", "the optimizer", "the student",
+    "the instructor", "the application", "the server", "the storage layer",
+    "the operator", "the execution plan", "the index", "the table",
+]
+_VERBS = [
+    "reads", "writes", "scans", "sorts", "joins", "filters", "groups",
+    "aggregates", "returns", "produces", "stores", "updates", "removes",
+    "computes", "evaluates", "selects", "combines", "hashes", "orders",
+]
+_OBJECTS = [
+    "the rows", "the tuples", "the records", "the intermediate relation",
+    "the temporary table", "the final results", "the matching rows",
+    "the duplicate rows", "the grouped values", "the sorted output",
+    "the hash table", "the join condition", "the filtering condition",
+    "the requested columns", "the output relation", "every row of the table",
+]
+_MODIFIERS = [
+    "using an index", "using a hash table", "in sorted order", "in parallel",
+    "on the join key", "for each group", "for every query", "per partition",
+    "with a single pass", "before returning the answer", "after the join",
+    "to answer the question", "during query execution", "for the learner",
+]
+_CONNECTIVES = [
+    "and then", "after that", "next", "finally", "in the first step",
+    "as a result", "in practice", "for example", "in general",
+]
+
+
+def build_general_corpus(
+    extra_sentences: Sequence[str] = (),
+    sentence_count: int = 4000,
+    seed: int = 97,
+) -> list[list[str]]:
+    """A large, varied synthetic corpus of database-domain sentences."""
+    rng = random.Random(seed)
+    sentences: list[list[str]] = []
+    for _ in range(sentence_count):
+        parts = [rng.choice(_SUBJECTS), rng.choice(_VERBS), rng.choice(_OBJECTS)]
+        if rng.random() < 0.7:
+            parts.append(rng.choice(_MODIFIERS))
+        if rng.random() < 0.3:
+            parts = [rng.choice(_CONNECTIVES)] + parts
+        if rng.random() < 0.4:
+            parts.extend([rng.choice(_CONNECTIVES), rng.choice(_VERBS), rng.choice(_OBJECTS)])
+        sentences.append(tokenize(" ".join(parts) + "."))
+    for sentence in extra_sentences:
+        sentences.append(tokenize(sentence))
+    rng.shuffle(sentences)
+    return sentences
+
+
+def build_self_trained_corpus(rule_sentences: Sequence[str]) -> list[list[str]]:
+    """The "self-trained" corpus: nothing but RULE-LANTERN output."""
+    return [tokenize(sentence) for sentence in rule_sentences]

@@ -1,0 +1,112 @@
+"""GloVe: weighted least squares on the log co-occurrence matrix, with AdaGrad."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.nlg.embeddings.word2vec import build_training_vocabulary
+from repro.nlg.vocab import Vocabulary
+
+
+def cooccurrence_counts(
+    corpus: Sequence[Sequence[str]], vocabulary: Vocabulary, window: int = 4
+) -> dict[tuple[int, int], float]:
+    """Distance-weighted co-occurrence counts within a symmetric window."""
+    counts: Counter = Counter()
+    for sentence in corpus:
+        ids = [vocabulary.id_of(token) for token in sentence]
+        for position, center in enumerate(ids):
+            end = min(len(ids), position + window + 1)
+            for context_position in range(position + 1, end):
+                distance = context_position - position
+                weight = 1.0 / distance
+                counts[(center, ids[context_position])] += weight
+                counts[(ids[context_position], center)] += weight
+    return dict(counts)
+
+
+class GloveTrainer:
+    """The GloVe objective: sum f(X_ij) (w_i·w~_j + b_i + b~_j − log X_ij)²."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        dimension: int = 100,
+        x_max: float = 100.0,
+        alpha: float = 0.75,
+        learning_rate: float = 0.05,
+        seed: int = 5,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.dimension = dimension
+        self.x_max = x_max
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        rng = np.random.default_rng(seed)
+        size = len(vocabulary)
+        scale = 0.5 / dimension
+        self.main_vectors = rng.uniform(-scale, scale, size=(size, dimension))
+        self.context_vectors = rng.uniform(-scale, scale, size=(size, dimension))
+        self.main_bias = np.zeros(size)
+        self.context_bias = np.zeros(size)
+        self._grad_squared = [
+            np.ones((size, dimension)), np.ones((size, dimension)), np.ones(size), np.ones(size)
+        ]
+        self._rng = rng
+
+    def train(self, cooccurrences: dict[tuple[int, int], float], epochs: int = 10) -> "GloveTrainer":
+        if not cooccurrences:
+            return self
+        pairs = np.array(list(cooccurrences.keys()), dtype=np.int64)
+        values = np.array(list(cooccurrences.values()), dtype=np.float64)
+        log_values = np.log(values)
+        weights = np.minimum((values / self.x_max) ** self.alpha, 1.0)
+        for _ in range(epochs):
+            order = self._rng.permutation(len(values))
+            for index in order:
+                i, j = pairs[index]
+                weight = weights[index]
+                inner = (
+                    float(self.main_vectors[i] @ self.context_vectors[j])
+                    + self.main_bias[i]
+                    + self.context_bias[j]
+                    - log_values[index]
+                )
+                factor = weight * inner
+                grad_main = factor * self.context_vectors[j]
+                grad_context = factor * self.main_vectors[i]
+                self.main_vectors[i] -= self.learning_rate * grad_main / np.sqrt(self._grad_squared[0][i])
+                self.context_vectors[j] -= self.learning_rate * grad_context / np.sqrt(self._grad_squared[1][j])
+                self.main_bias[i] -= self.learning_rate * factor / np.sqrt(self._grad_squared[2][i])
+                self.context_bias[j] -= self.learning_rate * factor / np.sqrt(self._grad_squared[3][j])
+                self._grad_squared[0][i] += grad_main ** 2
+                self._grad_squared[1][j] += grad_context ** 2
+                self._grad_squared[2][i] += factor ** 2
+                self._grad_squared[3][j] += factor ** 2
+        return self
+
+    def embedding_matrix(self, target_vocabulary: Vocabulary) -> np.ndarray:
+        """GloVe convention: the sum of main and context vectors."""
+        combined = self.main_vectors + self.context_vectors
+        matrix = np.zeros((len(target_vocabulary), self.dimension))
+        for index, token in enumerate(target_vocabulary.tokens):
+            if token in self.vocabulary:
+                matrix[index] = combined[self.vocabulary.id_of(token)]
+        return matrix
+
+
+def train_glove(
+    corpus: Sequence[Sequence[str]],
+    dimension: int = 100,
+    window: int = 4,
+    epochs: int = 8,
+    seed: int = 5,
+) -> GloveTrainer:
+    """Train GloVe vectors on a tokenized corpus."""
+    vocabulary = build_training_vocabulary(corpus)
+    cooccurrences = cooccurrence_counts(corpus, vocabulary, window=window)
+    trainer = GloveTrainer(vocabulary, dimension=dimension, seed=seed)
+    return trainer.train(cooccurrences, epochs=epochs)

@@ -1,0 +1,71 @@
+"""Uniform construction API for all embedding families.
+
+The dimensions follow Table 3 of the paper: Word2Vec 128, GloVe 100,
+BERT 768, ELMo 1024.  ``build_embedding_matrix`` returns a matrix aligned to
+the QEP2Seq output vocabulary, trained on either the large general corpus
+("pre-trained") or the RULE-LANTERN-only corpus ("self-trained").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.nlg.embeddings.contextual import BertStyleEmbeddings, ElmoStyleEmbeddings
+from repro.nlg.embeddings.corpus import build_general_corpus, build_self_trained_corpus
+from repro.nlg.embeddings.glove import train_glove
+from repro.nlg.embeddings.word2vec import train_word2vec
+from repro.nlg.vocab import Vocabulary
+
+#: Table 3 — dimension of each embedding family.
+EMBEDDING_DIMENSIONS: dict[str, int] = {
+    "word2vec": 128,
+    "glove": 100,
+    "bert": 768,
+    "elmo": 1024,
+}
+
+EMBEDDING_FAMILIES = tuple(EMBEDDING_DIMENSIONS)
+
+
+def build_embedding_matrix(
+    family: str,
+    vocabulary: Vocabulary,
+    rule_sentences: Sequence[str],
+    pretrained: bool = True,
+    dimension: int | None = None,
+    epochs: int = 2,
+    seed: int = 31,
+) -> np.ndarray:
+    """Train the requested embedding family and align it to ``vocabulary``.
+
+    ``pretrained=True`` trains on the large general corpus (plus the rule
+    sentences so the model vocabulary is covered); ``pretrained=False`` is the
+    paper's "self-trained" condition, using only RULE-LANTERN output.
+    """
+    family = family.lower()
+    if family not in EMBEDDING_DIMENSIONS:
+        raise ModelConfigError(
+            f"unknown embedding family {family!r}; expected one of {sorted(EMBEDDING_DIMENSIONS)}"
+        )
+    dimension = dimension or EMBEDDING_DIMENSIONS[family]
+    if pretrained:
+        corpus = build_general_corpus(extra_sentences=rule_sentences, seed=seed)
+    else:
+        corpus = build_self_trained_corpus(rule_sentences)
+    if not corpus:
+        raise ModelConfigError("the pre-training corpus is empty")
+
+    if family == "word2vec":
+        trainer = train_word2vec(corpus, dimension=dimension, epochs=epochs, seed=seed)
+        return trainer.embedding_matrix(vocabulary)
+    if family == "glove":
+        trainer = train_glove(corpus, dimension=dimension, epochs=max(epochs, 2), seed=seed)
+        return trainer.embedding_matrix(vocabulary)
+    if family == "bert":
+        model = BertStyleEmbeddings(dimension=dimension, epochs=epochs, seed=seed).fit(corpus)
+        return model.embedding_matrix(vocabulary)
+    model = ElmoStyleEmbeddings(dimension=dimension, epochs=epochs, seed=seed).fit(corpus)
+    return model.embedding_matrix(vocabulary)

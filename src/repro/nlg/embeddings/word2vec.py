@@ -1,0 +1,144 @@
+"""Skip-gram Word2Vec with negative sampling, in NumPy."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.nlg.nn.functional import sigmoid
+from repro.nlg.vocab import Vocabulary
+
+
+def build_training_vocabulary(corpus: Sequence[Sequence[str]], min_count: int = 1) -> Vocabulary:
+    """The vocabulary of the pre-training corpus (independent of the model vocab)."""
+    counts = Counter(token for sentence in corpus for token in sentence)
+    return Vocabulary(token for token, count in counts.most_common() if count >= min_count)
+
+
+def skipgram_pairs(
+    corpus: Sequence[Sequence[str]], vocabulary: Vocabulary, window: int = 3
+) -> tuple[np.ndarray, np.ndarray]:
+    """(center, context) id pairs within a symmetric window."""
+    centers: list[int] = []
+    contexts: list[int] = []
+    for sentence in corpus:
+        ids = [vocabulary.id_of(token) for token in sentence]
+        for position, center in enumerate(ids):
+            start = max(0, position - window)
+            end = min(len(ids), position + window + 1)
+            for context_position in range(start, end):
+                if context_position == position:
+                    continue
+                centers.append(center)
+                contexts.append(ids[context_position])
+    return np.asarray(centers, dtype=np.int64), np.asarray(contexts, dtype=np.int64)
+
+
+class SgnsTrainer:
+    """Skip-gram-with-negative-sampling over arbitrary (center, context) pairs.
+
+    The contextual embedding families reuse this trainer with different pair
+    generators (masked-token pairs for the BERT-style objective, directional
+    pairs for the ELMo-style objective).
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        dimension: int,
+        negative_samples: int = 5,
+        learning_rate: float = 0.05,
+        seed: int = 3,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.dimension = dimension
+        self.negative_samples = negative_samples
+        self.learning_rate = learning_rate
+        rng = np.random.default_rng(seed)
+        scale = 0.5 / dimension
+        self.input_vectors = rng.uniform(-scale, scale, size=(len(vocabulary), dimension))
+        self.output_vectors = np.zeros((len(vocabulary), dimension))
+        self._rng = rng
+
+    def train(
+        self,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        epochs: int = 3,
+        batch_size: int = 512,
+    ) -> "SgnsTrainer":
+        """Run SGD over the pair set for ``epochs`` passes."""
+        vocabulary_size = len(self.vocabulary)
+        count = len(centers)
+        if count == 0:
+            return self
+        for _ in range(epochs):
+            order = self._rng.permutation(count)
+            for start in range(0, count, batch_size):
+                batch = order[start : start + batch_size]
+                center_ids = centers[batch]
+                context_ids = contexts[batch]
+                negative_ids = self._rng.integers(
+                    0, vocabulary_size, size=(len(batch), self.negative_samples)
+                )
+                self._update(center_ids, context_ids, negative_ids)
+        return self
+
+    def _update(
+        self, center_ids: np.ndarray, context_ids: np.ndarray, negative_ids: np.ndarray
+    ) -> None:
+        center_vectors = self.input_vectors[center_ids]  # (B, D)
+        positive_vectors = self.output_vectors[context_ids]  # (B, D)
+        negative_vectors = self.output_vectors[negative_ids]  # (B, K, D)
+
+        positive_scores = sigmoid(np.sum(center_vectors * positive_vectors, axis=1))  # (B,)
+        negative_scores = sigmoid(np.einsum("bd,bkd->bk", center_vectors, negative_vectors))  # (B, K)
+
+        positive_gradient = (positive_scores - 1.0)[:, None]  # (B, 1)
+        negative_gradient = negative_scores[:, :, None]  # (B, K, 1)
+
+        grad_center = positive_gradient * positive_vectors + np.einsum(
+            "bkd->bd", negative_gradient * negative_vectors
+        )
+        grad_positive = positive_gradient * center_vectors
+        grad_negative = negative_gradient * center_vectors[:, None, :]
+
+        learning_rate = self.learning_rate
+        np.add.at(self.input_vectors, center_ids, -learning_rate * grad_center)
+        np.add.at(self.output_vectors, context_ids, -learning_rate * grad_positive)
+        np.add.at(
+            self.output_vectors,
+            negative_ids.reshape(-1),
+            -learning_rate * grad_negative.reshape(-1, self.dimension),
+        )
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def vector_for(self, token: str) -> np.ndarray:
+        return self.input_vectors[self.vocabulary.id_of(token)]
+
+    def embedding_matrix(self, target_vocabulary: Vocabulary) -> np.ndarray:
+        """Project the learned vectors onto another vocabulary (unknowns ≈ 0)."""
+        matrix = np.zeros((len(target_vocabulary), self.dimension))
+        for index, token in enumerate(target_vocabulary.tokens):
+            if token in self.vocabulary:
+                matrix[index] = self.input_vectors[self.vocabulary.id_of(token)]
+        return matrix
+
+
+def train_word2vec(
+    corpus: Sequence[Sequence[str]],
+    dimension: int = 128,
+    window: int = 3,
+    epochs: int = 3,
+    seed: int = 3,
+) -> SgnsTrainer:
+    """Train skip-gram Word2Vec on a tokenized corpus."""
+    vocabulary = build_training_vocabulary(corpus)
+    centers, contexts = skipgram_pairs(corpus, vocabulary, window=window)
+    trainer = SgnsTrainer(vocabulary, dimension, seed=seed)
+    return trainer.train(centers, contexts, epochs=epochs)

@@ -1,0 +1,135 @@
+"""Evaluation metrics: BLEU, Self-BLEU, and sparse categorical accuracy."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+
+def _ngram_counts(tokens: Sequence[str], order: int) -> Counter:
+    return Counter(tuple(tokens[i : i + order]) for i in range(len(tokens) - order + 1))
+
+
+def bleu_score(
+    candidate: Sequence[str],
+    references: Sequence[Sequence[str]],
+    max_order: int = 4,
+    smooth: bool = True,
+) -> float:
+    """Corpus-style BLEU for a single candidate against one or more references.
+
+    Returns a value in [0, 100] (the paper's Table 5 convention).  Uses
+    add-one smoothing on higher-order n-grams so short sentences do not
+    collapse to zero.
+    """
+    candidate = list(candidate)
+    references = [list(reference) for reference in references]
+    if not candidate or not references:
+        return 0.0
+    # for sentences shorter than max_order, only the realizable n-gram orders
+    # contribute (otherwise an identical short candidate would be penalized)
+    effective_order = max(1, min(max_order, len(candidate)))
+    precisions: list[float] = []
+    for order in range(1, effective_order + 1):
+        candidate_counts = _ngram_counts(candidate, order)
+        if not candidate_counts:
+            precisions.append(1e-9)
+            continue
+        max_reference_counts: Counter = Counter()
+        for reference in references:
+            reference_counts = _ngram_counts(reference, order)
+            for ngram, count in reference_counts.items():
+                max_reference_counts[ngram] = max(max_reference_counts[ngram], count)
+        overlap = sum(
+            min(count, max_reference_counts.get(ngram, 0))
+            for ngram, count in candidate_counts.items()
+        )
+        total = sum(candidate_counts.values())
+        if smooth and order > 1:
+            precisions.append((overlap + 1.0) / (total + 1.0))
+        else:
+            precisions.append(overlap / total if total else 1e-9)
+    if min(precisions) <= 0:
+        return 0.0
+    log_precision = sum(math.log(precision) for precision in precisions) / effective_order
+    closest_reference = min(references, key=lambda reference: abs(len(reference) - len(candidate)))
+    reference_length = len(closest_reference)
+    brevity = 1.0
+    if len(candidate) < reference_length:
+        brevity = math.exp(1.0 - reference_length / max(len(candidate), 1))
+    return 100.0 * brevity * math.exp(log_precision)
+
+
+def corpus_bleu(
+    candidates: Sequence[Sequence[str]],
+    references: Sequence[Sequence[str]],
+    max_order: int = 4,
+) -> float:
+    """Average sentence BLEU over a corpus (candidate i scored against reference i)."""
+    if not candidates:
+        return 0.0
+    scores = [
+        bleu_score(candidate, [reference], max_order=max_order)
+        for candidate, reference in zip(candidates, references)
+    ]
+    return float(np.mean(scores))
+
+
+def self_bleu(samples: Sequence[Sequence[str]], max_order: int = 4) -> float:
+    """Self-BLEU of a group of samples, normalized to [0, 1].
+
+    Lower values indicate higher diversity; a group with a single sample has
+    Self-BLEU 1.0 by convention (it is maximally non-diverse), matching the
+    "without paraphrasing" row of Table 4.
+    """
+    samples = [list(sample) for sample in samples]
+    if len(samples) <= 1:
+        return 1.0
+    scores = []
+    for index, candidate in enumerate(samples):
+        references = [sample for position, sample in enumerate(samples) if position != index]
+        scores.append(bleu_score(candidate, references, max_order=max_order) / 100.0)
+    return float(np.mean(scores))
+
+
+def average_group_self_bleu(groups: Sequence[Sequence[Sequence[str]]]) -> float:
+    """Mean Self-BLEU across groups (the quantity reported per row of Table 4)."""
+    if not groups:
+        return 1.0
+    return float(np.mean([self_bleu(group) for group in groups]))
+
+
+def sparse_categorical_accuracy(
+    predictions: np.ndarray, targets: np.ndarray, mask: np.ndarray | None = None
+) -> float:
+    """Fraction of positions whose argmax prediction equals the target id."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.ndim == targets.ndim + 1:
+        predictions = predictions.argmax(axis=-1)
+    correct = (predictions == targets).astype(np.float64)
+    if mask is None:
+        return float(correct.mean()) if correct.size else 0.0
+    mask = np.asarray(mask, dtype=np.float64)
+    total = max(mask.sum(), 1.0)
+    return float((correct * mask).sum() / total)
+
+
+def token_error_count(candidate: Sequence[str], reference: Sequence[str]) -> int:
+    """Number of token-level errors (edit distance) between candidate and reference.
+
+    Used by Exp 5's error audit: 0 errors = correct, 1 = one wrong token, etc.
+    """
+    candidate = list(candidate)
+    reference = list(reference)
+    previous = list(range(len(reference) + 1))
+    for i, candidate_token in enumerate(candidate, start=1):
+        current = [i]
+        for j, reference_token in enumerate(reference, start=1):
+            cost = 0 if candidate_token == reference_token else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]

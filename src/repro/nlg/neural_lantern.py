@@ -1,0 +1,197 @@
+"""NEURAL-LANTERN: the neural description generator (paper §6).
+
+The facade wraps a trained QEP2Seq model and plugs into
+:class:`repro.core.Lantern` through the ``translate_step`` hook: it serializes
+the act, decodes an abstracted sentence with beam search, and restores the
+Table 1 tags from the corresponding rule-generated step, so that relation
+names, predicates and intermediate-result identifiers stay exact while the
+wording varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.acts import Act
+from repro.core.narration import NarrationStep
+from repro.errors import NLGError
+from repro.nlg.dataset import TrainingDataset, abstract_step, build_dataset
+from repro.nlg.embeddings.registry import EMBEDDING_DIMENSIONS, build_embedding_matrix
+from repro.nlg.metrics import corpus_bleu
+from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
+from repro.nlg.tokenizer import detokenize, tokenize
+from repro.nlg.training import Trainer, TrainingHistory
+from repro.core.tags import restore_step_text
+
+
+@dataclass
+class NeuralLanternResult:
+    """Everything produced by :meth:`NeuralLantern.fit`."""
+
+    history: TrainingHistory
+    dataset: TrainingDataset
+
+
+class NeuralLantern:
+    """The trained neural generator."""
+
+    def __init__(
+        self,
+        model: QEP2Seq,
+        dataset: Optional[TrainingDataset] = None,
+        beam_size: Optional[int] = None,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.beam_size = beam_size
+        self._act_exposure: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction / training
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        workloads: Sequence[tuple[object, Sequence[str], str, str]],
+        config: Optional[Seq2SeqConfig] = None,
+        embedding_family: Optional[str] = None,
+        pretrained_embeddings: bool = True,
+        paraphrase: bool = True,
+        epochs: int = 20,
+        embedding_epochs: int = 2,
+        seed: int = 7,
+    ) -> tuple["NeuralLantern", NeuralLanternResult]:
+        """Build the dataset, (optionally) pre-train embeddings, and train QEP2Seq."""
+        dataset = build_dataset(workloads, paraphrase=paraphrase, seed=seed)
+        if not dataset.train_samples:
+            raise NLGError("the training dataset is empty")
+        config = config if config is not None else Seq2SeqConfig()
+        decoder_matrix = None
+        if embedding_family is not None:
+            config.embedding_name = embedding_family
+            decoder_matrix = build_embedding_matrix(
+                embedding_family,
+                dataset.output_vocabulary,
+                dataset.rule_sentences,
+                pretrained=pretrained_embeddings,
+                epochs=embedding_epochs,
+                seed=seed,
+            )
+        model = QEP2Seq(
+            dataset.input_vocabulary,
+            dataset.output_vocabulary,
+            config=config,
+            decoder_pretrained=decoder_matrix,
+        )
+        trainer = Trainer(model, dataset.train_samples, dataset.validation_samples, seed=seed)
+        history = trainer.train(epochs=epochs)
+        return cls(model, dataset=dataset), NeuralLanternResult(history=history, dataset=dataset)
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+
+    def generate_abstracted(self, act: Act) -> str:
+        """Decode the tag-abstracted sentence for one act.
+
+        When the same act structure recurs within a session, successive calls
+        cycle through the surviving beam hypotheses, so repeated operators are
+        described with varied wording (the anti-habituation behaviour of §6).
+        """
+        candidates = self.model.beam_decode_candidates(act.input_tokens(), beam_size=self.beam_size)
+        candidates = [tokens for tokens in candidates if tokens]
+        if not candidates:
+            raise NLGError("the decoder produced an empty description")
+        exposure = self._act_exposure.get(act.key, 0)
+        self._act_exposure[act.key] = exposure + 1
+        return detokenize(candidates[exposure % len(candidates)])
+
+    def translate_step(self, act: Act, rule_step: NarrationStep) -> str:
+        """The :class:`repro.core.lantern.StepTranslator` hook.
+
+        Decodes an abstracted sentence and restores the concrete values
+        (relations, conditions, identifiers) recorded in the rule step.
+        """
+        abstracted = self.generate_abstracted(act)
+        _, mapping = abstract_step(rule_step)
+        restored = restore_step_text(abstracted, mapping)
+        restored = self._fill_unresolved_tags(restored, rule_step)
+        restored = restored.strip()
+        if not restored.endswith("."):
+            restored += "."
+        return restored
+
+    @staticmethod
+    def _fill_unresolved_tags(text: str, rule_step: NarrationStep) -> str:
+        """Replace tags the decoder emitted but the rule step has no value for.
+
+        These correspond to the "wrong token" errors audited in Exp 5 — the
+        sentence stays readable, with a neutral phrase in place of the tag.
+        """
+        fallbacks = {
+            "<T>": rule_step.intermediate or (rule_step.relations[0] if rule_step.relations else "its input"),
+            "<TN>": rule_step.intermediate or "the intermediate relation",
+            "<F>": rule_step.filter_condition or "the specified condition",
+            "<C>": rule_step.join_condition or "the specified condition",
+            "<A>": ", ".join(rule_step.sort_keys) or "the specified attribute",
+            "<G>": ", ".join(rule_step.group_keys) or "the specified attribute",
+            "<I>": rule_step.index_name or "the index",
+        }
+        for tag, replacement in fallbacks.items():
+            if tag in text:
+                text = text.replace(tag, replacement)
+        return text
+
+    # ------------------------------------------------------------------
+    # evaluation helpers
+    # ------------------------------------------------------------------
+
+    def test_bleu(self, samples, beam_size: Optional[int] = None) -> float:
+        """Corpus BLEU of decoded outputs against ground-truth target tokens."""
+        candidates = []
+        references = []
+        for sample in samples:
+            decoded = self.model.beam_decode(sample.source_tokens, beam_size=beam_size or self.beam_size)
+            candidates.append(decoded)
+            references.append(sample.target_tokens)
+        return corpus_bleu(candidates, references)
+
+    def token_error_profile(
+        self,
+        samples,
+        beam_size: Optional[int] = None,
+        allow_paraphrases: bool = True,
+    ) -> dict[str, int]:
+        """Exp 5: how many test samples decode perfectly / with 1 wrong token / worse.
+
+        The paper's audit judged *semantic* correctness, so by default a
+        decoded sentence is scored against the reference **and** its accepted
+        paraphrases (any of the wordings the training data treats as correct),
+        taking the smallest token-error count.  Set ``allow_paraphrases=False``
+        for strict exact-reference matching.
+        """
+        from repro.nlg.metrics import token_error_count
+        from repro.nlg.paraphrase import ParaphraseEngine
+
+        engine = ParaphraseEngine() if allow_paraphrases else None
+        profile = {"correct": 0, "one_wrong_token": 0, "several_wrong_tokens": 0}
+        for sample in samples:
+            decoded = self.model.beam_decode(sample.source_tokens, beam_size=beam_size or self.beam_size)
+            references = [sample.target_tokens]
+            if engine is not None:
+                references.extend(
+                    tokenize(paraphrase)
+                    for paraphrase in engine.expand(sample.abstracted_text).paraphrases
+                )
+            errors = min(token_error_count(decoded, reference) for reference in references)
+            if errors == 0:
+                profile["correct"] += 1
+            elif errors == 1:
+                profile["one_wrong_token"] += 1
+            else:
+                profile["several_wrong_tokens"] += 1
+        return profile

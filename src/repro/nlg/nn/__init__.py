@@ -1,0 +1,25 @@
+"""A small NumPy neural-network substrate.
+
+Only what QEP2Seq and the embedding trainers need: parameter containers,
+uniform initialization (the paper initializes all LSTM parameters uniformly
+in [-0.1, 0.1]), an LSTM with full backpropagation-through-time, additive
+(Bahdanau) attention, dense and embedding layers, a cross-entropy loss, and
+SGD/Adam optimizers.
+"""
+
+from repro.nlg.nn.functional import sigmoid, softmax, tanh
+from repro.nlg.nn.layers import Dense, Embedding, Parameter
+from repro.nlg.nn.lstm import LSTM
+from repro.nlg.nn.optimizers import SGD, Adam
+
+__all__ = [
+    "Adam",
+    "Dense",
+    "Embedding",
+    "LSTM",
+    "Parameter",
+    "SGD",
+    "sigmoid",
+    "softmax",
+    "tanh",
+]

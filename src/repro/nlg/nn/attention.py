@@ -1,0 +1,99 @@
+"""Additive (Bahdanau) attention with manual gradients (paper Equations 8–10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nlg.nn.functional import softmax
+from repro.nlg.nn.layers import Parameter
+
+
+@dataclass
+class AttentionCache:
+    """Forward values reused in the backward pass for one decoding step."""
+
+    decoder_state: np.ndarray
+    encoder_states: np.ndarray
+    mask: Optional[np.ndarray]
+    scores_tanh: np.ndarray
+    weights: np.ndarray
+    context: np.ndarray
+
+
+class AdditiveAttention:
+    """score(s, h_i) = v^T tanh(W_s s + W_h h_i)."""
+
+    def __init__(self, decoder_dim: int, encoder_dim: int, attention_dim: int, rng: np.random.Generator) -> None:
+        self.weight_decoder = Parameter.uniform((decoder_dim, attention_dim), rng, name="attention.weight_decoder")
+        self.weight_encoder = Parameter.uniform((encoder_dim, attention_dim), rng, name="attention.weight_encoder")
+        self.score_vector = Parameter.uniform((attention_dim,), rng, name="attention.score_vector")
+
+    def forward(
+        self,
+        decoder_state: np.ndarray,
+        encoder_states: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray, AttentionCache]:
+        """Compute the context vector for one decoder step.
+
+        ``decoder_state`` (B, Hd); ``encoder_states`` (B, T, He); ``mask`` (B, T).
+        Returns (context (B, He), weights (B, T), cache).
+        """
+        projected_decoder = decoder_state @ self.weight_decoder.value  # (B, A)
+        projected_encoder = encoder_states @ self.weight_encoder.value  # (B, T, A)
+        scores_tanh = np.tanh(projected_encoder + projected_decoder[:, None, :])  # (B, T, A)
+        scores = scores_tanh @ self.score_vector.value  # (B, T)
+        if mask is not None:
+            scores = np.where(mask > 0, scores, -1e9)
+        weights = softmax(scores, axis=1)
+        context = np.einsum("bt,bth->bh", weights, encoder_states)
+        cache = AttentionCache(
+            decoder_state=decoder_state,
+            encoder_states=encoder_states,
+            mask=mask,
+            scores_tanh=scores_tanh,
+            weights=weights,
+            context=context,
+        )
+        return context, weights, cache
+
+    def backward(
+        self,
+        cache: AttentionCache,
+        grad_context: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Backward for one step.
+
+        Returns gradients w.r.t. the decoder state (B, Hd) and the encoder
+        states (B, T, He); parameter gradients are accumulated.
+        """
+        weights = cache.weights
+        encoder_states = cache.encoder_states
+
+        # context = sum_t weights_t * encoder_t
+        grad_weights = np.einsum("bh,bth->bt", grad_context, encoder_states)
+        grad_encoder = weights[:, :, None] * grad_context[:, None, :]
+
+        # softmax backward
+        dot = np.sum(grad_weights * weights, axis=1, keepdims=True)
+        grad_scores = weights * (grad_weights - dot)
+        if cache.mask is not None:
+            grad_scores = np.where(cache.mask > 0, grad_scores, 0.0)
+
+        # scores = tanh(...) @ v
+        grad_tanh = grad_scores[:, :, None] * self.score_vector.value[None, None, :]
+        self.score_vector.grad += np.einsum("bta,bt->a", cache.scores_tanh, grad_scores)
+        grad_pre = grad_tanh * (1.0 - cache.scores_tanh ** 2)  # (B, T, A)
+
+        # pre = encoder @ W_h + decoder @ W_s
+        self.weight_encoder.grad += np.einsum("bth,bta->ha", encoder_states, grad_pre)
+        self.weight_decoder.grad += cache.decoder_state.T @ grad_pre.sum(axis=1)
+        grad_encoder += grad_pre @ self.weight_encoder.value.T
+        grad_decoder = grad_pre.sum(axis=1) @ self.weight_decoder.value.T
+        return grad_decoder, grad_encoder
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight_decoder, self.weight_encoder, self.score_vector]

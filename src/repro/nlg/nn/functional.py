@@ -1,0 +1,34 @@
+"""Elementary differentiable functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along ``axis`` with max-subtraction for stability."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exponent = np.exp(shifted)
+    return exponent / np.sum(exponent, axis=axis, keepdims=True)
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """One-hot encode an integer array to shape ``indices.shape + (depth,)``."""
+    flat = np.asarray(indices).reshape(-1)
+    encoded = np.zeros((flat.size, depth), dtype=np.float64)
+    encoded[np.arange(flat.size), flat] = 1.0
+    return encoded.reshape(*np.asarray(indices).shape, depth)

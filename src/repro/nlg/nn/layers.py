@@ -1,0 +1,95 @@
+"""Parameter container plus dense and embedding layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+
+#: the uniform initialization range used throughout the paper's model
+INIT_RANGE = 0.1
+
+
+class Parameter:
+    """A trainable array with its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @classmethod
+    def uniform(cls, shape: tuple[int, ...], rng: np.random.Generator, name: str = "") -> "Parameter":
+        return cls(rng.uniform(-INIT_RANGE, INIT_RANGE, size=shape), name=name)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Dense:
+    """A fully connected layer ``y = x W + b``."""
+
+    def __init__(self, input_dim: int, output_dim: int, rng: np.random.Generator, name: str = "dense") -> None:
+        self.weight = Parameter.uniform((input_dim, output_dim), rng, name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(output_dim), name=f"{name}.bias")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients and return the gradient w.r.t. ``x``."""
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_grad = grad_output.reshape(-1, grad_output.shape[-1])
+        self.weight.grad += flat_x.T @ flat_grad
+        self.bias.grad += flat_grad.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class Embedding:
+    """A token-id to vector lookup table, optionally initialized from pre-trained vectors."""
+
+    def __init__(
+        self,
+        vocabulary_size: int,
+        dimension: int,
+        rng: np.random.Generator,
+        pretrained: np.ndarray | None = None,
+        trainable: bool = True,
+        name: str = "embedding",
+    ) -> None:
+        if pretrained is not None:
+            if pretrained.shape != (vocabulary_size, dimension):
+                raise ModelConfigError(
+                    f"pretrained matrix has shape {pretrained.shape}, expected "
+                    f"{(vocabulary_size, dimension)}"
+                )
+            initial = np.array(pretrained, dtype=np.float64)
+        else:
+            initial = rng.uniform(-INIT_RANGE, INIT_RANGE, size=(vocabulary_size, dimension))
+        self.table = Parameter(initial, name=f"{name}.table")
+        self.trainable = trainable
+        self.dimension = dimension
+        self.vocabulary_size = vocabulary_size
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        return self.table.value[token_ids]
+
+    def backward(self, token_ids: np.ndarray, grad_output: np.ndarray) -> None:
+        if not self.trainable:
+            return
+        flat_ids = np.asarray(token_ids).reshape(-1)
+        flat_grad = grad_output.reshape(-1, grad_output.shape[-1])
+        np.add.at(self.table.grad, flat_ids, flat_grad)
+
+    def parameters(self) -> list[Parameter]:
+        return [self.table] if self.trainable else []

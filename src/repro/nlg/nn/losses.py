@@ -1,0 +1,33 @@
+"""Losses: masked sequence cross entropy (Equation 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nlg.nn.functional import softmax
+
+
+def cross_entropy_from_logits(
+    logits: np.ndarray, targets: np.ndarray, mask: np.ndarray | None = None
+) -> tuple[float, np.ndarray]:
+    """Mean token-level cross entropy and its gradient w.r.t. the logits.
+
+    ``logits`` (B, T, V); ``targets`` (B, T) integer ids; ``mask`` (B, T).
+    The mean is taken over unmasked tokens, as is the gradient scaling.
+    """
+    batch, steps, vocabulary = logits.shape
+    probabilities = softmax(logits, axis=-1)
+    flat_probabilities = probabilities.reshape(-1, vocabulary)
+    flat_targets = targets.reshape(-1)
+    picked = flat_probabilities[np.arange(flat_targets.size), flat_targets]
+    log_likelihood = -np.log(np.clip(picked, 1e-12, None))
+    if mask is None:
+        mask = np.ones((batch, steps))
+    flat_mask = mask.reshape(-1)
+    total = max(flat_mask.sum(), 1.0)
+    loss = float((log_likelihood * flat_mask).sum() / total)
+
+    grad = flat_probabilities.copy()
+    grad[np.arange(flat_targets.size), flat_targets] -= 1.0
+    grad *= (flat_mask / total)[:, None]
+    return loss, grad.reshape(batch, steps, vocabulary)

@@ -1,0 +1,191 @@
+"""An LSTM layer with full backpropagation through time.
+
+The gate equations follow the paper (Equations 2–6): input, forget and output
+gates plus a candidate cell state, combined as
+
+    c_t = i_t * tanh(U_c h_{t-1} + V_c x_t) + f_t * c_{t-1}
+    h_t = o_t * tanh(c_t)
+
+Gates are computed as one fused affine transform for speed.  ``forward``
+processes a padded batch (with a mask); ``step`` processes a single time step
+and is used by the decoder at inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nlg.nn.functional import sigmoid, tanh
+from repro.nlg.nn.layers import Parameter
+
+
+@dataclass
+class LSTMStepCache:
+    """Values saved during one forward step and reused by the backward pass."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    gates: np.ndarray  # (B, 4H) post-activation: [i, f, o, g]
+    c: np.ndarray
+    h: np.ndarray
+    mask: Optional[np.ndarray] = None
+
+
+class LSTM:
+    """A single-layer LSTM operating on batches of padded sequences."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        name: str = "lstm",
+    ) -> None:
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight_x = Parameter.uniform((input_dim, 4 * hidden_dim), rng, name=f"{name}.weight_x")
+        self.weight_h = Parameter.uniform((hidden_dim, 4 * hidden_dim), rng, name=f"{name}.weight_h")
+        self.bias = Parameter(np.zeros(4 * hidden_dim), name=f"{name}.bias")
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+
+    def step(
+        self,
+        x: np.ndarray,
+        h_prev: np.ndarray,
+        c_prev: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray, LSTMStepCache]:
+        """One time step for a batch: returns (h, c, cache)."""
+        hidden = self.hidden_dim
+        pre = x @ self.weight_x.value + h_prev @ self.weight_h.value + self.bias.value
+        i = sigmoid(pre[:, :hidden])
+        f = sigmoid(pre[:, hidden : 2 * hidden])
+        o = sigmoid(pre[:, 2 * hidden : 3 * hidden])
+        g = tanh(pre[:, 3 * hidden :])
+        c = i * g + f * c_prev
+        h = o * np.tanh(c)
+        if mask is not None:
+            keep = mask[:, None]
+            h = keep * h + (1.0 - keep) * h_prev
+            c = keep * c + (1.0 - keep) * c_prev
+        cache = LSTMStepCache(
+            x=x, h_prev=h_prev, c_prev=c_prev,
+            gates=np.concatenate([i, f, o, g], axis=1), c=c, h=h, mask=mask,
+        )
+        return h, c, cache
+
+    def forward(
+        self,
+        inputs: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        h0: Optional[np.ndarray] = None,
+        c0: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[LSTMStepCache]]:
+        """Run the full sequence.
+
+        ``inputs`` has shape (B, T, D); ``mask`` (B, T) with 1 for real tokens.
+        Returns hidden states (B, T, H), final h, final c, and per-step caches.
+        """
+        batch, steps, _ = inputs.shape
+        h = np.zeros((batch, self.hidden_dim)) if h0 is None else h0.copy()
+        c = np.zeros((batch, self.hidden_dim)) if c0 is None else c0.copy()
+        outputs = np.zeros((batch, steps, self.hidden_dim))
+        caches: list[LSTMStepCache] = []
+        for t in range(steps):
+            step_mask = mask[:, t] if mask is not None else None
+            h, c, cache = self.step(inputs[:, t, :], h, c, mask=step_mask)
+            outputs[:, t, :] = h
+            caches.append(cache)
+        return outputs, h, c, caches
+
+    # ------------------------------------------------------------------
+    # backward
+    # ------------------------------------------------------------------
+
+    def backward_step(
+        self,
+        cache: LSTMStepCache,
+        grad_h: np.ndarray,
+        grad_c: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward through one step.
+
+        Returns gradients w.r.t. the step input x, the previous hidden state,
+        and the previous cell state; parameter gradients are accumulated.
+        """
+        hidden = self.hidden_dim
+        i = cache.gates[:, :hidden]
+        f = cache.gates[:, hidden : 2 * hidden]
+        o = cache.gates[:, 2 * hidden : 3 * hidden]
+        g = cache.gates[:, 3 * hidden :]
+
+        if cache.mask is not None:
+            keep = cache.mask[:, None]
+            grad_h_prev_passthrough = grad_h * (1.0 - keep)
+            grad_c_prev_passthrough = grad_c * (1.0 - keep)
+            grad_h = grad_h * keep
+            grad_c = grad_c * keep
+        else:
+            grad_h_prev_passthrough = 0.0
+            grad_c_prev_passthrough = 0.0
+
+        tanh_c = np.tanh(cache.c)
+        grad_o = grad_h * tanh_c
+        grad_c_total = grad_c + grad_h * o * (1.0 - tanh_c ** 2)
+        grad_i = grad_c_total * g
+        grad_g = grad_c_total * i
+        grad_f = grad_c_total * cache.c_prev
+        grad_c_prev = grad_c_total * f
+
+        d_pre_i = grad_i * i * (1.0 - i)
+        d_pre_f = grad_f * f * (1.0 - f)
+        d_pre_o = grad_o * o * (1.0 - o)
+        d_pre_g = grad_g * (1.0 - g ** 2)
+        d_pre = np.concatenate([d_pre_i, d_pre_f, d_pre_o, d_pre_g], axis=1)
+
+        self.weight_x.grad += cache.x.T @ d_pre
+        self.weight_h.grad += cache.h_prev.T @ d_pre
+        self.bias.grad += d_pre.sum(axis=0)
+
+        grad_x = d_pre @ self.weight_x.value.T
+        grad_h_prev = d_pre @ self.weight_h.value.T + grad_h_prev_passthrough
+        grad_c_prev = grad_c_prev + grad_c_prev_passthrough
+        return grad_x, grad_h_prev, grad_c_prev
+
+    def backward(
+        self,
+        caches: list[LSTMStepCache],
+        grad_outputs: np.ndarray,
+        grad_h_final: Optional[np.ndarray] = None,
+        grad_c_final: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward through the whole sequence.
+
+        ``grad_outputs`` has shape (B, T, H): the gradient flowing into each
+        per-step hidden state.  Returns the gradient w.r.t. the inputs
+        (B, T, D) and the initial hidden/cell states.
+        """
+        batch, steps, _ = grad_outputs.shape
+        grad_inputs = np.zeros((batch, steps, self.input_dim))
+        grad_h = np.zeros((batch, self.hidden_dim)) if grad_h_final is None else grad_h_final.copy()
+        grad_c = np.zeros((batch, self.hidden_dim)) if grad_c_final is None else grad_c_final.copy()
+        for t in reversed(range(steps)):
+            grad_h = grad_h + grad_outputs[:, t, :]
+            grad_x, grad_h, grad_c = self.backward_step(caches[t], grad_h, grad_c)
+            grad_inputs[:, t, :] = grad_x
+        return grad_inputs, grad_h, grad_c
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight_x, self.weight_h, self.bias]
+
+    @property
+    def recurrent_connection_count(self) -> int:
+        """Number of recurrent weights (the quantity reported in paper Table 3)."""
+        return int(self.weight_x.size + self.weight_h.size + self.bias.size)

@@ -1,0 +1,64 @@
+"""Optimizers: plain SGD (the paper's choice) and Adam (used by the embedding trainers)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nlg.nn.layers import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent without momentum, with optional gradient clipping."""
+
+    def __init__(self, parameters: list[Parameter], learning_rate: float = 0.001, clip_norm: float | None = 5.0) -> None:
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.clip_norm = clip_norm
+
+    def step(self) -> None:
+        if self.clip_norm is not None:
+            total = np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in self.parameters))
+            if total > self.clip_norm and total > 0:
+                scale = self.clip_norm / total
+                for parameter in self.parameters:
+                    parameter.grad *= scale
+        for parameter in self.parameters:
+            parameter.value -= self.learning_rate * parameter.grad
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+
+class Adam:
+    """Adam with the usual bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = [np.zeros_like(p.value) for p in parameters]
+        self._v = [np.zeros_like(p.value) for p in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for index, parameter in enumerate(self.parameters):
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * parameter.grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * parameter.grad ** 2
+            m_hat = self._m[index] / (1 - self.beta1 ** self._t)
+            v_hat = self._v[index] / (1 - self.beta2 ** self._t)
+            parameter.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()

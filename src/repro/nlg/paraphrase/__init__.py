@@ -1,0 +1,33 @@
+"""Paraphrasing tools used to diversify training targets (paper §6.3).
+
+The paper feeds every RULE-LANTERN sentence through three third-party online
+paraphrasers.  Offline, we implement three independent tools with different
+rewriting strategies and error profiles:
+
+* :class:`LexicalParaphraser` — word-level synonym substitution (including
+  the occasional imperfect choice such as "separating" for "selecting" that
+  Table 2 of the paper shows);
+* :class:`StructuralParaphraser` — phrase-level rewrites of the recurring
+  narration templates;
+* :class:`CompressionParaphraser` — shortens or expands clauses.
+
+:class:`ParaphraseEngine` runs all three, removes duplicates, and discards
+invalid outputs (sentences that lost a special tag), mirroring the manual
+clean-up step described in the paper.
+"""
+
+from repro.nlg.paraphrase.engine import ParaphraseEngine
+from repro.nlg.paraphrase.tools import (
+    CompressionParaphraser,
+    LexicalParaphraser,
+    Paraphraser,
+    StructuralParaphraser,
+)
+
+__all__ = [
+    "CompressionParaphraser",
+    "LexicalParaphraser",
+    "ParaphraseEngine",
+    "Paraphraser",
+    "StructuralParaphraser",
+]

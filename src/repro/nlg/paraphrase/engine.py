@@ -1,0 +1,68 @@
+"""The paraphrase engine: run all tools, deduplicate, drop invalid outputs."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.nlg.paraphrase.tools import (
+    CompressionParaphraser,
+    LexicalParaphraser,
+    Paraphraser,
+    StructuralParaphraser,
+)
+
+_TAG_RE = re.compile(r"<[A-Z]+>")
+
+
+@dataclass
+class ParaphraseGroup:
+    """The original sentence plus its accepted paraphrases (one *group* in Table 4)."""
+
+    original: str
+    paraphrases: list[str] = field(default_factory=list)
+
+    @property
+    def samples(self) -> list[str]:
+        return [self.original] + self.paraphrases
+
+    @property
+    def size(self) -> int:
+        return len(self.samples)
+
+
+class ParaphraseEngine:
+    """Applies a configurable set of paraphrasing tools to narration sentences."""
+
+    def __init__(self, tools: Sequence[Paraphraser] | None = None) -> None:
+        if tools is None:
+            tools = (LexicalParaphraser(), StructuralParaphraser(), CompressionParaphraser())
+        self.tools = list(tools)
+
+    def expand(self, sentence: str) -> ParaphraseGroup:
+        """Paraphrase one sentence with every tool, keeping only valid, novel outputs."""
+        group = ParaphraseGroup(original=sentence)
+        seen = {sentence}
+        original_tags = sorted(_TAG_RE.findall(sentence))
+        for tool in self.tools:
+            candidate = tool.paraphrase(sentence)
+            if candidate in seen:
+                continue
+            if sorted(_TAG_RE.findall(candidate)) != original_tags:
+                # the tool damaged a special tag — the paper removes such
+                # outputs during its manual clean-up pass
+                continue
+            seen.add(candidate)
+            group.paraphrases.append(candidate)
+        return group
+
+    def expand_all(self, sentences: Sequence[str]) -> list[ParaphraseGroup]:
+        return [self.expand(sentence) for sentence in sentences]
+
+    def expansion_factor(self, sentences: Sequence[str]) -> float:
+        """Average number of samples per original sentence (≈3–4 in the paper)."""
+        groups = self.expand_all(sentences)
+        if not groups:
+            return 1.0
+        return sum(group.size for group in groups) / len(groups)

@@ -1,0 +1,162 @@
+"""The three paraphrasing tools."""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Protocol
+
+
+class Paraphraser(Protocol):
+    """Interface shared by all paraphrasing tools."""
+
+    name: str
+
+    def paraphrase(self, text: str) -> str:  # pragma: no cover - protocol
+        ...
+
+
+def _stable_rng(text: str, salt: str) -> random.Random:
+    """A per-sentence deterministic RNG so tools behave like stateless services."""
+    digest = hashlib.sha256(f"{salt}::{text}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class LexicalParaphraser:
+    """Word-level synonym substitution.
+
+    A fraction of the substitutions are deliberately imperfect (the paper
+    observed words like "separating" instead of "selecting" in the output of
+    the online tools and reports that learners were not harmed by them).
+    """
+
+    name = "lexical"
+
+    _SYNONYMS: dict[str, list[str]] = {
+        "perform": ["execute", "carry out", "run"],
+        "scan": ["read", "sweep"],
+        "sequential": ["sequential", "serial"],
+        "filtering": ["selecting", "separating", "keeping rows"],
+        "get": ["obtain", "acquire", "produce"],
+        "final": ["conclusive", "ultimate"],
+        "results": ["outcome", "output", "answer"],
+        "intermediate": ["temporary", "interim"],
+        "relation": ["table", "relation"],
+        "rows": ["tuples", "records"],
+        "sort": ["order", "arrange"],
+        "join": ["join", "combine"],
+        "removal": ["elimination"],
+        "duplicate": ["repeated", "duplicate"],
+        "condition": ["predicate", "criterion"],
+        "grouping": ["bucketing", "grouping"],
+        "compute": ["calculate", "evaluate"],
+        "hash": ["hash", "bucketize"],
+        "attribute": ["column", "attribute"],
+    }
+
+    def __init__(self, substitution_rate: float = 0.6) -> None:
+        self.substitution_rate = substitution_rate
+
+    def paraphrase(self, text: str) -> str:
+        rng = _stable_rng(text, self.name)
+        words = text.split(" ")
+        rewritten: list[str] = []
+        for word in words:
+            bare = word.strip(".,()").lower()
+            if bare in self._SYNONYMS and rng.random() < self.substitution_rate:
+                replacement = rng.choice(self._SYNONYMS[bare])
+                rewritten.append(word.replace(bare, replacement) if bare in word else replacement)
+            else:
+                rewritten.append(word)
+        return " ".join(rewritten)
+
+
+class StructuralParaphraser:
+    """Phrase-level rewrites of the recurring narration templates."""
+
+    name = "structural"
+
+    _PHRASES: list[tuple[str, list[str]]] = [
+        ("perform sequential scan on", [
+            "execute a sequential scan over",
+            "read all rows of",
+        ]),
+        ("perform table scan on", ["execute a full table scan over"]),
+        ("perform index scan using the index on", [
+            "use the index to look up matching rows of",
+        ]),
+        ("perform hash join on", [
+            "join with a hash join",
+            "combine using a hash join",
+        ]),
+        ("perform merge join on", ["combine using a merge join"]),
+        ("perform nested loop join on", ["join with a nested loop over"]),
+        ("perform aggregate on", ["compute the aggregates over"]),
+        ("perform hash aggregate on", ["aggregate with a hash table over"]),
+        ("perform duplicate removal on", ["remove the duplicate rows of"]),
+        ("and filtering on", ["and keep only rows satisfying", "while selecting on"]),
+        ("with grouping on attribute", ["grouped by the attribute", "with groups formed on"]),
+        ("to get the intermediate relation", [
+            "to produce the intermediate relation",
+            "which yields the temporary table",
+        ]),
+        ("to get the final results.", [
+            "to get the conclusive outcome.",
+            "to produce the final answer.",
+        ]),
+        ("on condition", ["under the condition", "matching on"]),
+    ]
+
+    def __init__(self, rewrite_rate: float = 0.8) -> None:
+        self.rewrite_rate = rewrite_rate
+
+    def paraphrase(self, text: str) -> str:
+        rng = _stable_rng(text, self.name)
+        rewritten = text
+        for phrase, alternatives in self._PHRASES:
+            if phrase in rewritten and rng.random() < self.rewrite_rate:
+                rewritten = rewritten.replace(phrase, rng.choice(alternatives))
+        return rewritten
+
+
+class CompressionParaphraser:
+    """Shortens or expands clauses while keeping the content words."""
+
+    name = "compression"
+
+    _COMPRESSIONS: list[tuple[str, str]] = [
+        ("perform sequential scan on", "sequentially scan"),
+        ("perform table scan on", "scan"),
+        ("perform hash join on", "hash join"),
+        ("perform merge join on", "merge join"),
+        ("perform nested loop join on", "nested loop join"),
+        ("perform aggregate on", "aggregate"),
+        ("perform hash aggregate on", "hash aggregate"),
+        ("perform duplicate removal on", "deduplicate"),
+        ("and filtering on", "filtering"),
+        ("to get the intermediate relation", "producing"),
+        ("to get the final results.", "as the final result."),
+    ]
+    _EXPANSIONS: list[tuple[str, str]] = [
+        ("sort", "sort the rows of"),
+        ("hash", "build a hash table over"),
+        ("to get the final results.", "and return this output as the final result of the query."),
+    ]
+
+    def __init__(self, compression_probability: float = 0.6) -> None:
+        self.compression_probability = compression_probability
+
+    def paraphrase(self, text: str) -> str:
+        rng = _stable_rng(text, self.name)
+        rewritten = text
+        if rng.random() < self.compression_probability:
+            for phrase, replacement in self._COMPRESSIONS:
+                if phrase in rewritten and rng.random() < 0.7:
+                    rewritten = rewritten.replace(phrase, replacement)
+        else:
+            for phrase, replacement in self._EXPANSIONS:
+                if rewritten.startswith(phrase) and rng.random() < 0.7:
+                    rewritten = replacement + rewritten[len(phrase):]
+                elif f" {phrase} " in rewritten and rng.random() < 0.3:
+                    rewritten = rewritten.replace(f" {phrase} ", f" {replacement} ", 1)
+        return rewritten

@@ -1,0 +1,38 @@
+"""Tokenization of narration text.
+
+Narration sentences mix ordinary words with special tags (``<T>``, ``<F>``)
+and punctuation; the tokenizer keeps tags atomic so the closed output
+vocabulary of QEP2Seq stays small.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"<[A-Z]+>|[a-zA-Z_][a-zA-Z_0-9']*|\d+(?:\.\d+)?|[.,()]")
+
+
+def tokenize(text: str, lowercase: bool = True) -> list[str]:
+    """Split narration text into tokens, keeping ``<TAG>`` tokens intact."""
+    tokens = _TOKEN_RE.findall(text)
+    if lowercase:
+        tokens = [token if token.startswith("<") else token.lower() for token in tokens]
+    return tokens
+
+
+def detokenize(tokens: list[str]) -> str:
+    """Rebuild readable text from tokens (spacing around punctuation)."""
+    pieces: list[str] = []
+    for token in tokens:
+        if token in (".", ",", ")"):
+            if pieces:
+                pieces[-1] += token
+            else:
+                pieces.append(token)
+        elif pieces and pieces[-1].endswith("("):
+            pieces[-1] += token
+        elif token == "(":
+            pieces.append(token)
+        else:
+            pieces.append(token)
+    return " ".join(pieces)

@@ -1,0 +1,133 @@
+"""Training loops for QEP2Seq: teacher forcing, minibatches of 4, early stopping."""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.nlg.dataset import TrainingSample
+from repro.nlg.seq2seq import QEP2Seq
+
+
+@dataclass
+class EpochRecord:
+    """Metrics collected for one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    validation_loss: float
+    validation_accuracy: float
+    seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    """The per-epoch metric curves (Figures 6 and 7 plot these)."""
+
+    records: list[EpochRecord] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def epochs(self) -> int:
+        return len(self.records)
+
+    def series(self, metric: str) -> list[float]:
+        return [getattr(record, metric) for record in self.records]
+
+    @property
+    def final(self) -> Optional[EpochRecord]:
+        return self.records[-1] if self.records else None
+
+    @property
+    def best_validation_loss(self) -> float:
+        if not self.records:
+            return float("inf")
+        return min(record.validation_loss for record in self.records)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.records)
+
+    @property
+    def average_epoch_seconds(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.total_seconds / len(self.records)
+
+
+class Trainer:
+    """Runs teacher-forced SGD epochs with optional early stopping.
+
+    Early stopping follows the paper's description: training terminates when
+    the training-loss fluctuation over a window drops below a threshold
+    (default 0.001).
+    """
+
+    def __init__(
+        self,
+        model: QEP2Seq,
+        train_samples: Sequence[TrainingSample],
+        validation_samples: Sequence[TrainingSample],
+        seed: int = 11,
+    ) -> None:
+        self.model = model
+        self.train_samples = list(train_samples)
+        self.validation_samples = list(validation_samples)
+        self._rng = random.Random(seed)
+
+    def _run_batches(self, samples: Sequence[TrainingSample], batch_size: int, train: bool):
+        losses: list[float] = []
+        accuracies: list[float] = []
+        for start in range(0, len(samples), batch_size):
+            chunk = samples[start : start + batch_size]
+            batch = self.model.make_batch(
+                [sample.source_tokens for sample in chunk],
+                [sample.target_tokens for sample in chunk],
+            )
+            if train:
+                loss, accuracy = self.model.train_batch(batch)
+            else:
+                loss, accuracy = self.model.evaluate_batch(batch)
+            losses.append(loss)
+            accuracies.append(accuracy)
+        if not losses:
+            return 0.0, 0.0
+        return sum(losses) / len(losses), sum(accuracies) / len(accuracies)
+
+    def train(
+        self,
+        epochs: int = 50,
+        batch_size: Optional[int] = None,
+        early_stopping_threshold: Optional[float] = 0.001,
+        early_stopping_window: int = 5,
+    ) -> TrainingHistory:
+        """Train for up to ``epochs`` epochs, recording the metric curves."""
+        batch_size = batch_size or self.model.config.batch_size
+        history = TrainingHistory()
+        for epoch in range(1, epochs + 1):
+            started = time.perf_counter()
+            shuffled = list(self.train_samples)
+            self._rng.shuffle(shuffled)
+            train_loss, train_accuracy = self._run_batches(shuffled, batch_size, train=True)
+            validation_loss, validation_accuracy = self._run_batches(
+                self.validation_samples, batch_size, train=False
+            )
+            history.records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    train_loss=train_loss,
+                    train_accuracy=train_accuracy,
+                    validation_loss=validation_loss,
+                    validation_accuracy=validation_accuracy,
+                    seconds=time.perf_counter() - started,
+                )
+            )
+            if early_stopping_threshold is not None and len(history.records) >= early_stopping_window:
+                window = history.series("train_loss")[-early_stopping_window:]
+                if max(window) - min(window) < early_stopping_threshold:
+                    history.stopped_early = True
+                    break
+        return history

@@ -1,0 +1,104 @@
+"""Closed vocabularies with the special control tokens of the QEP2Seq model."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import VocabularyError
+
+PAD_TOKEN = "<PAD>"
+BOS_TOKEN = "<BOS>"
+END_TOKEN = "<END>"
+UNK_TOKEN = "<UNK>"
+CONTROL_TOKENS = (PAD_TOKEN, BOS_TOKEN, END_TOKEN, UNK_TOKEN)
+
+
+class Vocabulary:
+    """A bidirectional token/id mapping."""
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in CONTROL_TOKENS:
+            self._register(token)
+        for token in tokens:
+            self.add(token)
+
+    def _register(self, token: str) -> int:
+        index = len(self._id_to_token)
+        self._token_to_id[token] = index
+        self._id_to_token.append(token)
+        return index
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, token: str) -> int:
+        """Add a token (idempotent); returns its id."""
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        return self._register(token)
+
+    @classmethod
+    def from_sequences(cls, sequences: Iterable[Iterable[str]]) -> "Vocabulary":
+        vocabulary = cls()
+        for sequence in sequences:
+            for token in sequence:
+                vocabulary.add(token)
+        return vocabulary
+
+    # -- lookup ------------------------------------------------------------
+
+    def id_of(self, token: str, strict: bool = False) -> int:
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        if strict:
+            raise VocabularyError(f"token {token!r} is not in the vocabulary")
+        return self._token_to_id[UNK_TOKEN]
+
+    def token_of(self, index: int) -> str:
+        if 0 <= index < len(self._id_to_token):
+            return self._id_to_token[index]
+        raise VocabularyError(f"id {index} is out of range (size {len(self)})")
+
+    def encode(self, tokens: Iterable[str], add_bos: bool = False, add_end: bool = False) -> list[int]:
+        ids = [self.id_of(token) for token in tokens]
+        if add_bos:
+            ids.insert(0, self.bos_id)
+        if add_end:
+            ids.append(self.end_id)
+        return ids
+
+    def decode(self, ids: Iterable[int], strip_control: bool = True) -> list[str]:
+        tokens = [self.token_of(index) for index in ids]
+        if strip_control:
+            tokens = [token for token in tokens if token not in CONTROL_TOKENS]
+        return tokens
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    @property
+    def tokens(self) -> list[str]:
+        return list(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS_TOKEN]
+
+    @property
+    def end_id(self) -> int:
+        return self._token_to_id[END_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]

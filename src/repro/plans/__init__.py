@@ -1,0 +1,22 @@
+"""Engine-independent representation of query execution plans.
+
+LANTERN consumes QEPs in whatever serialization the RDBMS exposes
+(PostgreSQL JSON, SQL Server showplan XML).  This package parses those
+formats into a single :class:`~repro.plans.operator_tree.OperatorTree`
+abstraction with normalized attributes, which is what the rest of the
+pipeline (POOL catalogs, RULE-LANTERN, act decomposition) operates on.
+"""
+
+from repro.plans.operator_tree import OperatorNode, OperatorTree
+from repro.plans.postgres import parse_postgres_json, plan_from_database
+from repro.plans.sqlserver import parse_sqlserver_xml
+from repro.plans.visual import render_visual_tree
+
+__all__ = [
+    "OperatorNode",
+    "OperatorTree",
+    "parse_postgres_json",
+    "parse_sqlserver_xml",
+    "plan_from_database",
+    "render_visual_tree",
+]

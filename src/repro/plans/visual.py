@@ -1,0 +1,70 @@
+"""ASCII rendering of operator trees (the "visual tree" QEP format).
+
+The paper compares the NL description against the visual tree representation
+(Figure 2 / Figure 4); this module provides the equivalent text rendering used
+by the examples, the user-study simulator, and US 6's annotated-tree
+presentation mode.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.plans.operator_tree import OperatorNode, OperatorTree
+
+
+def render_visual_tree(
+    tree: OperatorTree,
+    show_details: bool = False,
+    annotation: Optional[Callable[[OperatorNode], str]] = None,
+) -> str:
+    """Render the operator tree with box-drawing connectors.
+
+    ``show_details`` appends the relation and condition to each node label.
+    ``annotation`` (used by the annotated-tree presentation mode of US 6)
+    adds an arbitrary per-node string on an indented line below the node.
+    """
+    lines: list[str] = []
+
+    def label(node: OperatorNode) -> str:
+        text = node.name
+        if node.relation:
+            text += f" ({node.relation})"
+        if show_details:
+            condition = node.join_condition or node.index_condition or node.filter_condition
+            if condition:
+                text += f"  [{condition}]"
+        return text
+
+    def render(node: OperatorNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(label(node))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + label(node))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        if annotation is not None:
+            note = annotation(node)
+            if note:
+                lines.append(child_prefix + "      ~ " + note)
+        for position, child in enumerate(node.children):
+            render(child, child_prefix, position == len(node.children) - 1, False)
+
+    render(tree.root, "", True, True)
+    return "\n".join(lines)
+
+
+def tree_summary(tree: OperatorTree) -> dict[str, int]:
+    """Simple structural statistics used in tests and experiments."""
+    names = tree.operator_names()
+    return {
+        "nodes": len(names),
+        "depth": tree.depth(),
+        "scans": sum(1 for name in names if "scan" in name.lower() or "seek" in name.lower()),
+        "joins": sum(
+            1
+            for name in names
+            if "join" in name.lower() or name.lower() in ("nested loops", "hash match")
+        ),
+    }

@@ -1,0 +1,30 @@
+"""POOL — the Physical Operator Object Language (paper §4).
+
+POOL lets a subject-matter expert declaratively create, query, compose, and
+update natural-language labels of physical operators.  Objects follow the
+POEM data model and are stored in two relations (``POperators``, ``PDesc``)
+on the mini relational engine; POOL statements are compiled to SQL against
+those relations, mirroring the implementation described in the paper.
+"""
+
+from repro.pool.catalogs import (
+    POSTGRESQL_SOURCE,
+    SQLSERVER_SOURCE,
+    build_default_store,
+    postgresql_operator_definitions,
+    sqlserver_operator_definitions,
+)
+from repro.pool.interpreter import PoolSession
+from repro.pool.poem import PoemObject, PoemStore, normalize_operator_name
+
+__all__ = [
+    "POSTGRESQL_SOURCE",
+    "SQLSERVER_SOURCE",
+    "PoemObject",
+    "PoemStore",
+    "PoolSession",
+    "build_default_store",
+    "normalize_operator_name",
+    "postgresql_operator_definitions",
+    "sqlserver_operator_definitions",
+]

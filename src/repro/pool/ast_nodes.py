@@ -1,0 +1,76 @@
+"""AST node types for POOL statements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sqlengine.ast_nodes import Expression
+
+
+@dataclass
+class CreateOperatorStatement:
+    """``CREATE POPERATOR <name> FOR <source> (<attribute-value pairs>)``."""
+
+    name: str
+    source: str
+    attributes: dict[str, Optional[str]] = field(default_factory=dict)
+
+
+@dataclass
+class PoolSelectStatement:
+    """``SELECT <attrs|*> FROM <source> WHERE <condition>``."""
+
+    attributes: list[str]
+    source: str
+    where: Optional[Expression] = None
+    alias: Optional[str] = None
+
+    @property
+    def select_all(self) -> bool:
+        return self.attributes == ["*"]
+
+
+@dataclass
+class ComposeStatement:
+    """``COMPOSE <name>[, <name>] FROM <source> [USING <name>.desc = '<text>']``.
+
+    When two operator names are given they must form an (auxiliary, critical)
+    pair; the statement returns the composed template for the critical node.
+    """
+
+    operator_names: list[str]
+    source: str
+    using: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ReplaceValue:
+    """``REPLACE(<value>, '<old>', '<new>')`` in an UPDATE assignment."""
+
+    value: "UpdateValue"
+    old: str
+    new: str
+
+
+@dataclass
+class UpdateValue:
+    """The right-hand side of a SET assignment: a literal, subquery, or REPLACE."""
+
+    literal: Optional[str] = None
+    subquery: Optional[PoolSelectStatement] = None
+    replace: Optional[ReplaceValue] = None
+
+
+@dataclass
+class UpdateStatement:
+    """``UPDATE <source> SET <attr> = <value>[, ...] WHERE <condition>``."""
+
+    source: str
+    assignments: dict[str, UpdateValue] = field(default_factory=dict)
+    where: Optional[Expression] = None
+
+
+PoolStatement = (
+    CreateOperatorStatement | PoolSelectStatement | ComposeStatement | UpdateStatement
+)

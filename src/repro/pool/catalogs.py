@@ -1,0 +1,336 @@
+"""Default POEM catalogs for PostgreSQL and SQL Server.
+
+These are the operator labels the paper's two subject-matter experts authored
+with POOL.  Each entry provides the operator's type (unary/binary), an
+optional learner-friendly alias, a textbook definition, one or more
+natural-language description fragments, whether a condition placeholder is
+appended, and — for auxiliary operators — the critical operator(s) they
+support (which drives clustering in RULE-LANTERN).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.pool.poem import PoemStore
+
+POSTGRESQL_SOURCE = "pg"
+SQLSERVER_SOURCE = "mssql"
+
+
+def postgresql_operator_definitions() -> list[dict]:
+    """POOL-style attribute sets for every PostgreSQL physical operator we emit."""
+    return [
+        {
+            "name": "seqscan",
+            "type": "unary",
+            "alias": "sequential scan",
+            "defn": "reads every row of a table from start to end",
+            "descriptions": ["perform sequential scan on", "scan every row of"],
+            "cond": False,
+        },
+        {
+            "name": "parallelseqscan",
+            "type": "unary",
+            "alias": "parallel sequential scan",
+            "defn": "a sequential scan whose pages are divided among parallel workers",
+            "descriptions": ["perform parallel sequential scan with multiple workers on"],
+            "cond": False,
+            "target": "gather",
+        },
+        {
+            "name": "gather",
+            "type": "unary",
+            "alias": "gather parallel results",
+            "defn": "combines the output of parallel worker processes",
+            "descriptions": ["gather the rows produced by the parallel workers of"],
+            "cond": False,
+        },
+        {
+            "name": "indexscan",
+            "type": "unary",
+            "alias": "index scan",
+            "defn": "uses an index to locate matching rows and fetches them from the table",
+            "descriptions": ["perform index scan using the index on"],
+            "cond": False,
+        },
+        {
+            "name": "indexonlyscan",
+            "type": "unary",
+            "alias": "index only scan",
+            "defn": "answers the query from the index alone without visiting the table",
+            "descriptions": ["perform index only scan on"],
+            "cond": False,
+        },
+        {
+            "name": "bitmapheapscan",
+            "type": "unary",
+            "alias": "bitmap heap scan",
+            "defn": "fetches table pages identified by a preceding bitmap index scan",
+            "descriptions": ["perform bitmap heap scan on"],
+            "cond": False,
+        },
+        {
+            "name": "bitmapindexscan",
+            "type": "unary",
+            "alias": "bitmap index scan",
+            "defn": "builds a bitmap of matching row locations from an index",
+            "descriptions": ["build a bitmap of matching rows from the index on"],
+            "cond": False,
+            "target": "bitmapheapscan",
+        },
+        {
+            "name": "hashjoin",
+            "type": "binary",
+            "alias": "hash join",
+            "defn": "a join algorithm that uses hashing to create subsets of tuples with matching join keys",
+            "descriptions": ["perform hash join on", "execute hash join on"],
+            "cond": True,
+        },
+        {
+            "name": "hash",
+            "type": "unary",
+            "alias": "hash table build",
+            "defn": "builds an in-memory hash table over its input rows",
+            "descriptions": ["hash"],
+            "cond": False,
+            "target": "hashjoin",
+        },
+        {
+            "name": "mergejoin",
+            "type": "binary",
+            "alias": "merge join",
+            "defn": "a join algorithm that merges two inputs sorted on the join key",
+            "descriptions": ["perform merge join on"],
+            "cond": True,
+        },
+        {
+            "name": "nestedloop",
+            "type": "binary",
+            "alias": "nested loop join",
+            "defn": "a join algorithm that scans the inner input once per outer row",
+            "descriptions": ["perform nested loop join on"],
+            "cond": True,
+        },
+        {
+            "name": "materialize",
+            "type": "unary",
+            "alias": "materialize",
+            "defn": "stores its input rows in memory so they can be rescanned cheaply",
+            "descriptions": ["materialize the rows of"],
+            "cond": False,
+            "target": "nestedloop",
+        },
+        {
+            "name": "sort",
+            "type": "unary",
+            "alias": "sort",
+            "defn": "orders its input rows on one or more sort keys",
+            "descriptions": ["sort"],
+            "cond": False,
+            "target": "mergejoin,groupaggregate,aggregate,unique",
+        },
+        {
+            "name": "aggregate",
+            "type": "unary",
+            "alias": "aggregate",
+            "defn": "computes aggregate functions, optionally grouped",
+            "descriptions": ["perform aggregate on"],
+            "cond": False,
+        },
+        {
+            "name": "groupaggregate",
+            "type": "unary",
+            "alias": "sorted aggregate",
+            "defn": "computes grouped aggregates over an input sorted on the grouping keys",
+            "descriptions": ["perform aggregate on"],
+            "cond": False,
+        },
+        {
+            "name": "hashaggregate",
+            "type": "unary",
+            "alias": "hash aggregate",
+            "defn": "computes grouped aggregates using an in-memory hash table of groups",
+            "descriptions": ["perform hash aggregate on"],
+            "cond": False,
+        },
+        {
+            "name": "unique",
+            "type": "unary",
+            "alias": "duplicate removal",
+            "defn": "removes duplicate rows from a sorted input",
+            "descriptions": ["perform duplicate removal on"],
+            "cond": False,
+        },
+        {
+            "name": "limit",
+            "type": "unary",
+            "alias": "limit",
+            "defn": "returns only the first rows of its input",
+            "descriptions": ["keep only the requested number of rows of"],
+            "cond": False,
+        },
+        {
+            "name": "result",
+            "type": "unary",
+            "alias": "result",
+            "defn": "computes a result that needs no table access",
+            "descriptions": ["compute the result of"],
+            "cond": False,
+        },
+    ]
+
+
+def sqlserver_operator_definitions() -> list[dict]:
+    """POOL-style attribute sets for the SQL Server operator vocabulary."""
+    return [
+        {
+            "name": "tablescan",
+            "type": "unary",
+            "alias": "sequential table scan",
+            "defn": "reads every row of a heap table",
+            "descriptions": ["perform table scan on"],
+            "cond": False,
+        },
+        {
+            "name": "clusteredindexscan",
+            "type": "unary",
+            "alias": "clustered index scan",
+            "defn": "reads every row of a table stored in clustered-index order",
+            "descriptions": ["perform clustered index scan on"],
+            "cond": False,
+        },
+        {
+            "name": "indexseek",
+            "type": "unary",
+            "alias": "index seek",
+            "defn": "uses an index to navigate directly to matching rows",
+            "descriptions": ["perform index seek on"],
+            "cond": False,
+        },
+        {
+            "name": "hashmatch",
+            "type": "binary",
+            "alias": "hash join",
+            "defn": "a join algorithm that builds a hash table on one input and probes it with the other",
+            "descriptions": ["perform hash match join on"],
+            "cond": True,
+        },
+        {
+            "name": "hashmatchaggregate",
+            "type": "unary",
+            "alias": "hash aggregate",
+            "defn": "computes grouped aggregates using a hash table of groups",
+            "descriptions": ["perform hash aggregate on"],
+            "cond": False,
+        },
+        {
+            "name": "hashmatchdistinct",
+            "type": "unary",
+            "alias": "hash distinct",
+            "defn": "removes duplicate rows using a hash table",
+            "descriptions": ["perform duplicate removal on"],
+            "cond": False,
+        },
+        {
+            "name": "mergejoin",
+            "type": "binary",
+            "alias": "merge join",
+            "defn": "a join algorithm that merges two sorted inputs",
+            "descriptions": ["perform merge join on"],
+            "cond": True,
+        },
+        {
+            "name": "nestedloops",
+            "type": "binary",
+            "alias": "nested loop join",
+            "defn": "a join algorithm that scans the inner input once per outer row",
+            "descriptions": ["perform nested loops join on"],
+            "cond": True,
+        },
+        {
+            "name": "sort",
+            "type": "unary",
+            "alias": "sort",
+            "defn": "orders its input rows",
+            "descriptions": ["sort"],
+            "cond": False,
+            "target": "mergejoin,streamaggregate",
+        },
+        {
+            "name": "streamaggregate",
+            "type": "unary",
+            "alias": "stream aggregate",
+            "defn": "computes grouped aggregates over an input sorted on the grouping keys",
+            "descriptions": ["perform stream aggregate on"],
+            "cond": False,
+        },
+        {
+            "name": "top",
+            "type": "unary",
+            "alias": "top",
+            "defn": "returns only the first rows of its input",
+            "descriptions": ["keep only the requested number of rows of"],
+            "cond": False,
+        },
+        {
+            "name": "tablespool",
+            "type": "unary",
+            "alias": "table spool",
+            "defn": "stores its input in a worktable so it can be replayed",
+            "descriptions": ["spool the rows of"],
+            "cond": False,
+            "target": "nestedloops",
+        },
+        {
+            "name": "parallelism",
+            "type": "unary",
+            "alias": "parallelism exchange",
+            "defn": "redistributes or gathers rows between parallel threads",
+            "descriptions": ["gather the parallel streams of"],
+            "cond": False,
+        },
+        {
+            "name": "computescalar",
+            "type": "unary",
+            "alias": "compute scalar",
+            "defn": "computes derived column values",
+            "descriptions": ["compute derived values over"],
+            "cond": False,
+        },
+        {
+            "name": "filter",
+            "type": "unary",
+            "alias": "filter",
+            "defn": "removes rows that do not satisfy a predicate",
+            "descriptions": ["filter the rows of"],
+            "cond": True,
+        },
+    ]
+
+
+def populate_store(
+    store: PoemStore, source: str, definitions: Iterable[dict]
+) -> PoemStore:
+    """Create every operator of ``definitions`` in ``store`` under ``source``."""
+    for definition in definitions:
+        store.create(
+            source=source,
+            name=definition["name"],
+            operator_type=definition.get("type", "unary"),
+            alias=definition.get("alias"),
+            defn=definition.get("defn"),
+            descriptions=definition.get("descriptions", ()),
+            cond=definition.get("cond", False),
+            target=definition.get("target"),
+        )
+    return store
+
+
+def build_default_store(include_sqlserver: bool = True) -> PoemStore:
+    """A POEM store pre-populated with both engines' operator catalogs."""
+    store = PoemStore()
+    populate_store(store, POSTGRESQL_SOURCE, postgresql_operator_definitions())
+    if include_sqlserver:
+        populate_store(store, SQLSERVER_SOURCE, sqlserver_operator_definitions())
+    return store

@@ -1,0 +1,24 @@
+"""A small, self-contained relational engine used as the QEP-producing substrate.
+
+The LANTERN paper consumes query execution plans produced by PostgreSQL and
+SQL Server.  Neither is available offline, so this package implements the
+closest synthetic equivalent: a catalog, a SQL parser, table statistics, a
+cost-based optimizer that picks access paths, join orders and join algorithms,
+an iterator-style executor, and EXPLAIN serializers that mimic PostgreSQL's
+``EXPLAIN (FORMAT JSON)`` and SQL Server's showplan XML.
+
+The public entry point is :class:`repro.sqlengine.engine.Database`.
+"""
+
+from repro.sqlengine.engine import Database
+from repro.sqlengine.schema import Catalog, Column, Index, TableSchema
+from repro.sqlengine.types import DataType
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Database",
+    "DataType",
+    "Index",
+    "TableSchema",
+]

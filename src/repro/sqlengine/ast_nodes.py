@@ -1,0 +1,292 @@
+"""Abstract syntax tree nodes for the SQL subset and its expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+AGGREGATE_FUNCTIONS = {"count", "sum", "avg", "min", "max"}
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+    def walk(self):
+        """Yield this node and all descendant expressions, depth first."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> list["Expression"]:
+        return []
+
+
+@dataclass
+class ColumnRef(Expression):
+    """A (possibly qualified) column reference such as ``c.c_custkey``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Literal(Expression):
+    """A constant value (number, string, boolean, NULL)."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass
+class Star(Expression):
+    """The ``*`` projection item (optionally qualified: ``t.*``)."""
+
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass
+class BinaryOp(Expression):
+    """A binary operator: arithmetic, comparison, LIKE, string concat."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def children(self) -> list[Expression]:
+        return [self.left, self.right]
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.operator} {self.right})"
+
+
+@dataclass
+class BooleanOp(Expression):
+    """An n-ary AND / OR over predicate expressions."""
+
+    operator: str  # "and" | "or"
+    operands: list[Expression]
+
+    def children(self) -> list[Expression]:
+        return list(self.operands)
+
+    def __str__(self) -> str:
+        joiner = f" {self.operator.upper()} "
+        return "(" + joiner.join(str(operand) for operand in self.operands) + ")"
+
+
+@dataclass
+class NotOp(Expression):
+    """Logical negation."""
+
+    operand: Expression
+
+    def children(self) -> list[Expression]:
+        return [self.operand]
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def children(self) -> list[Expression]:
+        return [self.operand]
+
+    def __str__(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand} {suffix})"
+
+
+@dataclass
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    items: list[Expression]
+    negated: bool = False
+
+    def children(self) -> list[Expression]:
+        return [self.operand, *self.items]
+
+    def __str__(self) -> str:
+        values = ", ".join(str(item) for item in self.items)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand} {keyword} ({values}))"
+
+
+@dataclass
+class Between(Expression):
+    """``expr BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def children(self) -> list[Expression]:
+        return [self.operand, self.low, self.high]
+
+    def __str__(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand} {keyword} {self.low} AND {self.high})"
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A scalar or aggregate function call."""
+
+    name: str
+    arguments: list[Expression]
+    distinct: bool = False
+
+    def children(self) -> list[Expression]:
+        return list(self.arguments)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name.lower() in AGGREGATE_FUNCTIONS
+
+    def __str__(self) -> str:
+        args = ", ".join(str(argument) for argument in self.arguments)
+        if self.distinct:
+            args = f"DISTINCT {args}"
+        return f"{self.name.upper()}({args or '*'})"
+
+
+@dataclass
+class CaseExpression(Expression):
+    """A searched CASE expression."""
+
+    branches: list[tuple[Expression, Expression]]
+    default: Optional[Expression] = None
+
+    def children(self) -> list[Expression]:
+        nodes: list[Expression] = []
+        for condition, result in self.branches:
+            nodes.extend((condition, result))
+        if self.default is not None:
+            nodes.append(self.default)
+        return nodes
+
+    def __str__(self) -> str:
+        parts = ["CASE"]
+        for condition, result in self.branches:
+            parts.append(f"WHEN {condition} THEN {result}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    """One projection item with an optional output alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+    def output_name(self, position: int) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        return f"column_{position}"
+
+
+@dataclass
+class TableRef:
+    """A base table reference in FROM, with optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this relation is referred to by in the rest of the query."""
+        return self.alias or self.name
+
+
+@dataclass
+class JoinClause:
+    """An explicit ``JOIN ... ON`` clause attached to a preceding relation."""
+
+    table: TableRef
+    condition: Optional[Expression]
+    join_type: str = "inner"  # inner | left | right
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.expression} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT statement."""
+
+    select_items: list[SelectItem]
+    from_tables: list[TableRef]
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    @property
+    def relations(self) -> list[TableRef]:
+        """All base relations referenced in FROM and JOIN clauses."""
+        return list(self.from_tables) + [join.table for join in self.joins]
+
+    def aggregates(self) -> list[FunctionCall]:
+        """All aggregate calls appearing in the projection or HAVING clause."""
+        found: list[FunctionCall] = []
+        roots: list[Expression] = [item.expression for item in self.select_items]
+        if self.having is not None:
+            roots.append(self.having)
+        for item in self.order_by:
+            roots.append(item.expression)
+        for root in roots:
+            for node in root.walk():
+                if isinstance(node, FunctionCall) and node.is_aggregate:
+                    found.append(node)
+        return found
+
+    @property
+    def has_aggregation(self) -> bool:
+        return bool(self.group_by) or bool(self.aggregates())

@@ -1,0 +1,77 @@
+"""Cost model constants and elementary costing formulas.
+
+The constants mirror PostgreSQL's defaults so that plan choices (seq scan vs
+index scan, hash vs merge vs nested-loop join) shift in familiar ways as
+cardinalities and selectivities change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Tunable unit costs, analogous to PostgreSQL GUCs."""
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    cpu_operator_cost: float = 0.0025
+    hash_build_cost_per_tuple: float = 0.015
+    sort_cost_per_comparison: float = 0.0052
+    materialize_cost_per_tuple: float = 0.0025
+
+
+DEFAULT_COST_PARAMETERS = CostParameters()
+
+
+def seq_scan_cost(pages: float, rows: float, parameters: CostParameters) -> float:
+    """Full scan: read every page, apply the filter to every row."""
+    return pages * parameters.seq_page_cost + rows * parameters.cpu_tuple_cost
+
+
+def index_scan_cost(
+    matching_rows: float,
+    table_pages: float,
+    table_rows: float,
+    parameters: CostParameters,
+) -> float:
+    """B-tree descent plus one random page fetch per matching row (capped)."""
+    descent = math.log2(max(table_rows, 2.0)) * parameters.cpu_operator_cost * 50
+    index_tuples = matching_rows * parameters.cpu_index_tuple_cost
+    heap_pages = min(matching_rows, table_pages)
+    heap_fetch = heap_pages * parameters.random_page_cost
+    return descent + index_tuples + heap_fetch + matching_rows * parameters.cpu_tuple_cost
+
+
+def sort_cost(rows: float, parameters: CostParameters) -> float:
+    """N log N comparison cost."""
+    rows = max(rows, 1.0)
+    return rows * math.log2(max(rows, 2.0)) * parameters.sort_cost_per_comparison
+
+
+def hash_join_cost(outer_rows: float, inner_rows: float, parameters: CostParameters) -> float:
+    """Build a hash table over the inner input, probe with the outer."""
+    build = inner_rows * parameters.hash_build_cost_per_tuple
+    probe = outer_rows * (parameters.cpu_operator_cost + parameters.cpu_tuple_cost)
+    return build + probe
+
+
+def merge_join_cost(outer_rows: float, inner_rows: float, parameters: CostParameters) -> float:
+    """Linear merge over two sorted inputs (sorting is costed separately)."""
+    return (outer_rows + inner_rows) * parameters.cpu_operator_cost * 2
+
+
+def nested_loop_cost(
+    outer_rows: float, inner_cost_per_loop: float, inner_rows: float, parameters: CostParameters
+) -> float:
+    """Re-execute the inner plan once per outer row."""
+    return outer_rows * inner_cost_per_loop + outer_rows * inner_rows * parameters.cpu_operator_cost
+
+
+def aggregate_cost(input_rows: float, groups: float, parameters: CostParameters) -> float:
+    """Hash or sorted aggregation: one operator evaluation per input row."""
+    return input_rows * parameters.cpu_operator_cost * 2 + groups * parameters.cpu_tuple_cost

@@ -1,0 +1,150 @@
+"""The :class:`Database` facade tying catalog, storage, planner, and executor together."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import CatalogError
+from repro.sqlengine import explain as explain_module
+from repro.sqlengine.ast_nodes import SelectStatement
+from repro.sqlengine.cost import CostParameters, DEFAULT_COST_PARAMETERS
+from repro.sqlengine.executor import Executor
+from repro.sqlengine.optimizer import Planner
+from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.physical import PhysicalPlan
+from repro.sqlengine.schema import Catalog, Column, Index, TableSchema
+from repro.sqlengine.statistics import TableStatistics, analyze_table
+from repro.sqlengine.storage import StorageManager
+from repro.sqlengine.types import DataType
+
+
+class Database:
+    """An in-memory database instance.
+
+    Typical usage::
+
+        db = Database("teaching")
+        db.create_table("users", [("id", DataType.INTEGER), ("age", DataType.INTEGER)])
+        db.insert("users", [(1, 31), (2, 64)])
+        db.analyze()
+        plan = db.plan("SELECT id FROM users WHERE age > 40")
+        rows = db.execute("SELECT id FROM users WHERE age > 40")
+        explain_json = db.explain("SELECT ...", output_format="json")
+    """
+
+    def __init__(
+        self,
+        name: str = "db",
+        cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
+        enable_parallel: bool = True,
+    ) -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self.storage = StorageManager()
+        self._statistics: dict[str, TableStatistics] = {}
+        self._cost_parameters = cost_parameters
+        self._enable_parallel = enable_parallel
+        self._executor = Executor(self.storage)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, DataType]] | Sequence[Column],
+        primary_key: Sequence[str] = (),
+    ) -> TableSchema:
+        """Create a table from ``(name, type)`` pairs or :class:`Column` objects."""
+        materialized: list[Column] = []
+        for column in columns:
+            if isinstance(column, Column):
+                materialized.append(column)
+            else:
+                column_name, data_type = column
+                materialized.append(Column(column_name, data_type))
+        schema = TableSchema(name=name.lower(), columns=materialized, primary_key=tuple(primary_key))
+        self.catalog.add_table(schema)
+        self.storage.create_table(schema)
+        self._statistics[schema.name] = TableStatistics()
+        return schema
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self.storage.drop_table(name)
+        self._statistics.pop(name.lower(), None)
+
+    def create_index(
+        self,
+        name: str,
+        table: str,
+        columns: Sequence[str],
+        kind: str = "btree",
+        unique: bool = False,
+    ) -> Index:
+        index = Index(name=name.lower(), table=table.lower(), columns=tuple(columns), kind=kind, unique=unique)
+        self.catalog.add_index(index)
+        self.storage.register_index(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def insert(self, table: str, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
+        """Bulk insert rows (tuples in schema order, or dicts keyed by column)."""
+        if not self.catalog.has_table(table):
+            raise CatalogError(f"table {table!r} does not exist")
+        heap = self.storage.table(table)
+        count = heap.insert_many(rows)
+        self.storage.mark_dirty(table)
+        return count
+
+    def analyze(self, table: str | None = None) -> None:
+        """Collect statistics for one table or for every table."""
+        names = [table.lower()] if table else [schema.name for schema in self.catalog.tables()]
+        for name in names:
+            self._statistics[name] = analyze_table(self.storage.table(name))
+
+    def statistics(self, table: str) -> TableStatistics:
+        return self._statistics.get(table.lower(), TableStatistics())
+
+    def row_count(self, table: str) -> int:
+        return self.storage.table(table).row_count
+
+    # ------------------------------------------------------------------
+    # planning / execution
+    # ------------------------------------------------------------------
+
+    def parse(self, sql: str) -> SelectStatement:
+        return parse_sql(sql)
+
+    def plan(self, sql: str) -> PhysicalPlan:
+        """Parse and optimize ``sql`` into a physical plan."""
+        statement = parse_sql(sql)
+        planner = Planner(
+            self.catalog,
+            self._statistics,
+            parameters=self._cost_parameters,
+            enable_parallel=self._enable_parallel,
+        )
+        return planner.plan(statement, sql_text=sql)
+
+    def execute(self, sql: str) -> list[dict[str, Any]]:
+        """Plan and run ``sql``, returning projected rows."""
+        return self._executor.execute(self.plan(sql))
+
+    def execute_plan(self, plan: PhysicalPlan) -> list[dict[str, Any]]:
+        return self._executor.execute(plan)
+
+    def explain(self, sql: str, output_format: str = "text") -> str:
+        """EXPLAIN ``sql`` in ``text``, ``json`` (PostgreSQL), or ``xml`` (SQL Server) form."""
+        plan = self.plan(sql)
+        if output_format == "text":
+            return explain_module.to_text(plan)
+        if output_format == "json":
+            return explain_module.to_postgres_json(plan)
+        if output_format == "xml":
+            return explain_module.to_sqlserver_xml(plan)
+        raise ValueError(f"unknown explain format {output_format!r}")

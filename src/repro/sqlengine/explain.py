@@ -1,0 +1,229 @@
+"""EXPLAIN serializers: indented text, PostgreSQL-style JSON, SQL Server-style XML.
+
+The JSON layout follows ``EXPLAIN (FORMAT JSON)`` closely enough that the
+plan parser in :mod:`repro.plans.postgres` treats it exactly like real
+PostgreSQL output.  The XML layout mirrors the structure (not the full
+schema) of SQL Server showplan XML: nested ``RelOp`` elements with
+``PhysicalOp``/``LogicalOp`` attributes and SQL Server operator names.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ElementTree
+from typing import Any
+
+from repro.sqlengine.physical import (
+    AGGREGATE,
+    GATHER,
+    GROUP_AGGREGATE,
+    HASH,
+    HASH_AGGREGATE,
+    HASH_JOIN,
+    INDEX_ONLY_SCAN,
+    INDEX_SCAN,
+    LIMIT,
+    MATERIALIZE,
+    MERGE_JOIN,
+    NESTED_LOOP,
+    PARALLEL_SEQ_SCAN,
+    PhysicalPlan,
+    PlanNode,
+    SEQ_SCAN,
+    SORT,
+    UNIQUE,
+)
+
+# ---------------------------------------------------------------------------
+# PostgreSQL-style JSON
+# ---------------------------------------------------------------------------
+
+
+def _node_to_pg_dict(node: PlanNode) -> dict[str, Any]:
+    entry: dict[str, Any] = {
+        "Node Type": node.node_type,
+        "Startup Cost": round(node.startup_cost, 2),
+        "Total Cost": round(node.total_cost, 2),
+        "Plan Rows": int(round(node.plan_rows)),
+        "Plan Width": node.plan_width,
+    }
+    if node.relation:
+        entry["Relation Name"] = node.relation
+        entry["Alias"] = node.alias or node.relation
+    if node.index_name:
+        entry["Index Name"] = node.index_name
+    if node.index_condition is not None:
+        entry["Index Cond"] = str(node.index_condition)
+    if node.filter is not None:
+        entry["Filter"] = str(node.filter)
+    if node.join_condition is not None:
+        if node.node_type == HASH_JOIN:
+            entry["Hash Cond"] = str(node.join_condition)
+        elif node.node_type == MERGE_JOIN:
+            entry["Merge Cond"] = str(node.join_condition)
+        else:
+            entry["Join Filter"] = str(node.join_condition)
+    if node.is_join:
+        entry["Join Type"] = node.join_type
+    if node.sort_keys:
+        entry["Sort Key"] = list(node.sort_keys)
+    if node.group_keys:
+        entry["Group Key"] = list(node.group_keys)
+    if node.strategy:
+        entry["Strategy"] = node.strategy
+    if node.node_type in (AGGREGATE, GROUP_AGGREGATE, HASH_AGGREGATE) and node.aggregate_calls:
+        entry["Aggregates"] = [str(call) for call in node.aggregate_calls]
+    if node.parallel_workers:
+        entry["Workers Planned"] = node.parallel_workers
+    if node.output:
+        entry["Output"] = list(node.output)
+    if node.node_type == LIMIT and "limit" in node.extra:
+        entry["Rows Limit"] = node.extra["limit"]
+    if node.children:
+        entry["Plans"] = [_node_to_pg_dict(child) for child in node.children]
+    return entry
+
+
+def to_postgres_json(plan: PhysicalPlan, pretty: bool = True) -> str:
+    """Serialize the plan like ``EXPLAIN (FORMAT JSON)``."""
+    document = [{"Plan": _node_to_pg_dict(plan.root), "Query Text": plan.statement_text}]
+    return json.dumps(document, indent=2 if pretty else None, default=str)
+
+
+def to_postgres_dict(plan: PhysicalPlan) -> list[dict[str, Any]]:
+    """The same structure as :func:`to_postgres_json` but as Python objects."""
+    return [{"Plan": _node_to_pg_dict(plan.root), "Query Text": plan.statement_text}]
+
+
+# ---------------------------------------------------------------------------
+# indented text (EXPLAIN default format)
+# ---------------------------------------------------------------------------
+
+
+def to_text(plan: PhysicalPlan) -> str:
+    """Serialize the plan in the familiar arrow-indented text form."""
+    lines: list[str] = []
+
+    def render(node: PlanNode, depth: int) -> None:
+        head = node.node_type
+        if node.relation:
+            head += f" on {node.relation}"
+            if node.alias and node.alias != node.relation:
+                head += f" {node.alias}"
+        if node.index_name:
+            head += f" using {node.index_name}"
+        costs = (
+            f"  (cost={node.startup_cost:.2f}..{node.total_cost:.2f} "
+            f"rows={int(round(node.plan_rows))} width={node.plan_width})"
+        )
+        prefix = "" if depth == 0 else "  " * depth + "->  "
+        lines.append(prefix + head + costs)
+        detail_prefix = "  " * (depth + 1) + "  "
+        if node.index_condition is not None:
+            lines.append(f"{detail_prefix}Index Cond: {node.index_condition}")
+        if node.join_condition is not None:
+            label = {
+                HASH_JOIN: "Hash Cond",
+                MERGE_JOIN: "Merge Cond",
+                NESTED_LOOP: "Join Filter",
+            }.get(node.node_type, "Join Cond")
+            lines.append(f"{detail_prefix}{label}: {node.join_condition}")
+        if node.filter is not None:
+            lines.append(f"{detail_prefix}Filter: {node.filter}")
+        if node.sort_keys:
+            lines.append(f"{detail_prefix}Sort Key: {', '.join(node.sort_keys)}")
+        if node.group_keys:
+            lines.append(f"{detail_prefix}Group Key: {', '.join(node.group_keys)}")
+        for child in node.children:
+            render(child, depth + 1)
+
+    render(plan.root, 0)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# SQL Server-style showplan XML
+# ---------------------------------------------------------------------------
+
+#: mapping from our (PostgreSQL-flavoured) node names to SQL Server physical
+#: operator names; used by the XML serializer and the SQL Server POOL catalog.
+SQLSERVER_PHYSICAL_OPS: dict[str, tuple[str, str]] = {
+    SEQ_SCAN: ("Table Scan", "Table Scan"),
+    PARALLEL_SEQ_SCAN: ("Table Scan", "Table Scan"),
+    INDEX_SCAN: ("Index Seek", "Index Seek"),
+    INDEX_ONLY_SCAN: ("Index Seek", "Index Seek"),
+    HASH_JOIN: ("Hash Match", "Inner Join"),
+    MERGE_JOIN: ("Merge Join", "Inner Join"),
+    NESTED_LOOP: ("Nested Loops", "Inner Join"),
+    SORT: ("Sort", "Sort"),
+    AGGREGATE: ("Stream Aggregate", "Aggregate"),
+    GROUP_AGGREGATE: ("Stream Aggregate", "Aggregate"),
+    HASH_AGGREGATE: ("Hash Match", "Aggregate"),
+    UNIQUE: ("Stream Aggregate", "Distinct"),
+    LIMIT: ("Top", "Top"),
+    MATERIALIZE: ("Table Spool", "Lazy Spool"),
+    GATHER: ("Parallelism", "Gather Streams"),
+}
+
+_SHOWPLAN_NAMESPACE = "http://schemas.microsoft.com/sqlserver/2004/07/showplan"
+
+
+def _node_to_relop(node: PlanNode, parent: ElementTree.Element) -> None:
+    if node.node_type == HASH:
+        # SQL Server plans have no separate Hash build node; splice children in.
+        for child in node.children:
+            _node_to_relop(child, parent)
+        return
+    physical, logical = SQLSERVER_PHYSICAL_OPS.get(node.node_type, (node.node_type, node.node_type))
+    relop = ElementTree.SubElement(
+        parent,
+        "RelOp",
+        {
+            "PhysicalOp": physical,
+            "LogicalOp": logical,
+            "EstimateRows": f"{node.plan_rows:.0f}",
+            "EstimatedTotalSubtreeCost": f"{node.total_cost:.4f}",
+        },
+    )
+    if node.relation:
+        ElementTree.SubElement(
+            relop,
+            "Object",
+            {"Table": node.relation, "Alias": node.alias or node.relation},
+        )
+    if node.index_name:
+        relop.set("Index", node.index_name)
+    if node.index_condition is not None:
+        ElementTree.SubElement(relop, "SeekPredicate").text = str(node.index_condition)
+    if node.filter is not None:
+        ElementTree.SubElement(relop, "Predicate").text = str(node.filter)
+    if node.join_condition is not None:
+        ElementTree.SubElement(relop, "JoinPredicate").text = str(node.join_condition)
+    if node.sort_keys:
+        ElementTree.SubElement(relop, "OrderBy").text = ", ".join(node.sort_keys)
+    if node.group_keys:
+        ElementTree.SubElement(relop, "GroupBy").text = ", ".join(node.group_keys)
+    if node.aggregate_calls:
+        ElementTree.SubElement(relop, "Aggregates").text = ", ".join(
+            str(call) for call in node.aggregate_calls
+        )
+    if node.node_type == LIMIT and "limit" in node.extra:
+        relop.set("TopExpression", str(node.extra["limit"]))
+    for child in node.children:
+        _node_to_relop(child, relop)
+
+
+def to_sqlserver_xml(plan: PhysicalPlan) -> str:
+    """Serialize the plan in a SQL Server showplan-like XML dialect."""
+    root = ElementTree.Element("ShowPlanXML", {"xmlns": _SHOWPLAN_NAMESPACE, "Version": "1.539"})
+    batch_sequence = ElementTree.SubElement(root, "BatchSequence")
+    batch = ElementTree.SubElement(batch_sequence, "Batch")
+    statements = ElementTree.SubElement(batch, "Statements")
+    statement = ElementTree.SubElement(
+        statements,
+        "StmtSimple",
+        {"StatementText": plan.statement_text, "StatementType": "SELECT"},
+    )
+    query_plan = ElementTree.SubElement(statement, "QueryPlan")
+    _node_to_relop(plan.root, query_plan)
+    return ElementTree.tostring(root, encoding="unicode")

@@ -1,0 +1,72 @@
+"""Tokenizer for the SQL subset understood by the mini engine."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having", "order",
+    "limit", "offset", "as", "and", "or", "not", "in", "like", "between",
+    "is", "null", "join", "inner", "left", "right", "outer", "on", "asc",
+    "desc", "case", "when", "then", "else", "end", "exists", "union", "all",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|=|<|>|\|\|)
+  | (?P<punct>[(),.*+\-/%;])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: ``kind`` is one of keyword/name/number/string/op/punct/eof."""
+
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split SQL text into tokens, lower-casing keywords and bare names."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SQLSyntaxError(f"unexpected character {sql[position]!r} at offset {position}")
+        position = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "name":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, match.start()))
+            else:
+                tokens.append(Token("name", lowered, match.start()))
+        elif kind == "string":
+            tokens.append(Token("string", text[1:-1].replace("''", "'"), match.start()))
+        elif kind == "number":
+            tokens.append(Token("number", text, match.start()))
+        else:
+            tokens.append(Token(kind, text, match.start()))
+    tokens.append(Token("eof", "", length))
+    return tokens

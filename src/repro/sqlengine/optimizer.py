@@ -1,0 +1,670 @@
+"""Cost-based query planner.
+
+The planner performs the classic pipeline:
+
+1. *Binding*: resolve FROM/JOIN relations against the catalog, classify WHERE
+   conjuncts into single-relation filters and join predicates.
+2. *Access path selection*: per relation, compare sequential scan against
+   index scans matching its filters (plus an optional parallel scan for very
+   large tables).
+3. *Join ordering*: dynamic programming over connected sub-sets (greedy
+   fall-back above a size threshold), selecting hash join, merge join, or
+   (index) nested loop per edge by cost.
+4. *Post-join planning*: aggregation (hashed vs sorted strategy), HAVING,
+   DISTINCT, ORDER BY, LIMIT.
+
+The output is a :class:`repro.sqlengine.physical.PhysicalPlan` whose node
+vocabulary matches PostgreSQL's EXPLAIN.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import PlanningError
+from repro.sqlengine import cost as costmodel
+from repro.sqlengine.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    SelectItem,
+    SelectStatement,
+    Star,
+)
+from repro.sqlengine.cost import CostParameters, DEFAULT_COST_PARAMETERS
+from repro.sqlengine.expressions import (
+    combine_conjuncts,
+    is_equijoin,
+    referenced_bindings,
+    split_conjuncts,
+)
+from repro.sqlengine.physical import (
+    AGGREGATE,
+    GATHER,
+    GROUP_AGGREGATE,
+    HASH,
+    HASH_AGGREGATE,
+    HASH_JOIN,
+    INDEX_SCAN,
+    LIMIT,
+    MATERIALIZE,
+    MERGE_JOIN,
+    NESTED_LOOP,
+    PARALLEL_SEQ_SCAN,
+    PhysicalPlan,
+    PlanNode,
+    SEQ_SCAN,
+    SORT,
+    UNIQUE,
+)
+from repro.sqlengine.schema import Catalog, Index
+from repro.sqlengine.statistics import SelectivityEstimator, TableStatistics
+
+_DP_RELATION_LIMIT = 8
+_PARALLEL_SCAN_THRESHOLD = 200_000
+
+
+@dataclass
+class BoundRelation:
+    """A FROM-clause relation resolved against the catalog."""
+
+    binding: str
+    table_name: str
+    filters: list[Expression] = field(default_factory=list)
+
+
+@dataclass
+class QueryContext:
+    """Everything the planner needs about one statement."""
+
+    statement: SelectStatement
+    relations: dict[str, BoundRelation]
+    join_predicates: list[Expression]
+    column_binding: dict[str, str]
+    estimator: SelectivityEstimator
+    statistics: Mapping[str, TableStatistics]
+
+
+class Planner:
+    """Builds physical plans for SELECT statements."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        statistics: Mapping[str, TableStatistics],
+        parameters: CostParameters = DEFAULT_COST_PARAMETERS,
+        enable_parallel: bool = True,
+    ) -> None:
+        self._catalog = catalog
+        self._statistics = {key.lower(): value for key, value in statistics.items()}
+        self._parameters = parameters
+        self._enable_parallel = enable_parallel
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def plan(self, statement: SelectStatement, sql_text: str = "") -> PhysicalPlan:
+        context = self._bind(statement)
+        root = self._plan_joins(context)
+        root = self._plan_aggregation(context, root)
+        root = self._plan_distinct(context, root)
+        root = self._plan_order_and_limit(context, root)
+        root.output = [
+            item.output_name(position) for position, item in enumerate(statement.select_items)
+        ]
+        return PhysicalPlan(
+            root=root,
+            select_items=statement.select_items,
+            distinct=statement.distinct,
+            statement_text=sql_text,
+        )
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+
+    def _bind(self, statement: SelectStatement) -> QueryContext:
+        relations: dict[str, BoundRelation] = {}
+        for reference in statement.relations:
+            if not self._catalog.has_table(reference.name):
+                raise PlanningError(f"unknown table {reference.name!r}")
+            binding = reference.binding.lower()
+            if binding in relations:
+                raise PlanningError(f"duplicate relation binding {binding!r}")
+            relations[binding] = BoundRelation(binding=binding, table_name=reference.name.lower())
+
+        column_binding: dict[str, str] = {}
+        ambiguous: set[str] = set()
+        for relation in relations.values():
+            schema = self._catalog.table(relation.table_name)
+            for column in schema.columns:
+                if column.name in column_binding:
+                    ambiguous.add(column.name)
+                else:
+                    column_binding[column.name] = relation.binding
+        for name in ambiguous:
+            column_binding.pop(name, None)
+
+        statistics_by_binding = {
+            relation.binding: self._statistics.get(
+                relation.table_name, TableStatistics(row_count=1000, page_count=10)
+            )
+            for relation in relations.values()
+        }
+        estimator = SelectivityEstimator(statistics_by_binding, column_binding)
+
+        conjuncts = split_conjuncts(statement.where)
+        for join in statement.joins:
+            conjuncts.extend(split_conjuncts(join.condition))
+        join_predicates: list[Expression] = []
+        for conjunct in conjuncts:
+            bindings = referenced_bindings(conjunct, column_binding)
+            if len(bindings) == 1:
+                relations[next(iter(bindings)).lower()].filters.append(conjunct)
+            elif len(bindings) >= 2:
+                join_predicates.append(conjunct)
+            else:
+                # constant predicate: attach to the first relation
+                first = next(iter(relations.values()))
+                first.filters.append(conjunct)
+
+        return QueryContext(
+            statement=statement,
+            relations=relations,
+            join_predicates=join_predicates,
+            column_binding=column_binding,
+            estimator=estimator,
+            statistics=statistics_by_binding,
+        )
+
+    # ------------------------------------------------------------------
+    # access paths
+    # ------------------------------------------------------------------
+
+    def _relation_statistics(self, context: QueryContext, binding: str) -> TableStatistics:
+        return context.statistics[binding]
+
+    def _scan_plan(self, context: QueryContext, relation: BoundRelation) -> PlanNode:
+        statistics = self._relation_statistics(context, relation.binding)
+        filter_expression = combine_conjuncts(relation.filters)
+        selectivity = context.estimator.selectivity(filter_expression)
+        output_rows = max(statistics.row_count * selectivity, 1.0)
+
+        best = self._sequential_scan(relation, statistics, filter_expression, output_rows)
+        for index in self._catalog.indexes_for(relation.table_name):
+            candidate = self._index_scan(
+                context, relation, statistics, index, filter_expression, output_rows
+            )
+            if candidate is not None and candidate.total_cost < best.total_cost:
+                best = candidate
+        return best
+
+    def _sequential_scan(
+        self,
+        relation: BoundRelation,
+        statistics: TableStatistics,
+        filter_expression: Optional[Expression],
+        output_rows: float,
+    ) -> PlanNode:
+        run_cost = costmodel.seq_scan_cost(
+            statistics.page_count, statistics.row_count, self._parameters
+        )
+        node_type = SEQ_SCAN
+        workers = 0
+        if self._enable_parallel and statistics.row_count >= _PARALLEL_SCAN_THRESHOLD:
+            node_type = PARALLEL_SEQ_SCAN
+            workers = 2
+            run_cost = run_cost / (workers + 1)
+        scan = PlanNode(
+            node_type=node_type,
+            relation=relation.table_name,
+            alias=relation.binding,
+            filter=filter_expression,
+            total_cost=run_cost,
+            plan_rows=output_rows,
+            parallel_workers=workers,
+        )
+        if node_type == PARALLEL_SEQ_SCAN:
+            gather = PlanNode(
+                node_type=GATHER,
+                children=[scan],
+                total_cost=run_cost + output_rows * self._parameters.cpu_tuple_cost,
+                plan_rows=output_rows,
+                parallel_workers=workers,
+            )
+            return gather
+        return scan
+
+    def _index_scan(
+        self,
+        context: QueryContext,
+        relation: BoundRelation,
+        statistics: TableStatistics,
+        index: Index,
+        filter_expression: Optional[Expression],
+        output_rows: float,
+    ) -> Optional[PlanNode]:
+        index_conjuncts: list[Expression] = []
+        residual: list[Expression] = []
+        for conjunct in relation.filters:
+            if self._matches_index(conjunct, index, relation.binding, context):
+                index_conjuncts.append(conjunct)
+            else:
+                residual.append(conjunct)
+        if not index_conjuncts:
+            return None
+        index_condition = combine_conjuncts(index_conjuncts)
+        index_selectivity = context.estimator.selectivity(index_condition)
+        matching = max(statistics.row_count * index_selectivity, 1.0)
+        run_cost = costmodel.index_scan_cost(
+            matching, statistics.page_count, statistics.row_count, self._parameters
+        )
+        return PlanNode(
+            node_type=INDEX_SCAN,
+            relation=relation.table_name,
+            alias=relation.binding,
+            index_name=index.name,
+            index_condition=index_condition,
+            filter=combine_conjuncts(residual),
+            total_cost=run_cost,
+            plan_rows=output_rows,
+        )
+
+    def _matches_index(
+        self,
+        conjunct: Expression,
+        index: Index,
+        binding: str,
+        context: QueryContext,
+    ) -> bool:
+        """Whether a conjunct is a sargable predicate on the index's leading column."""
+        if not isinstance(conjunct, BinaryOp):
+            return False
+        comparison = conjunct.operator in ("=", "<", "<=", ">", ">=")
+        if not comparison:
+            return False
+        if index.kind == "hash" and conjunct.operator != "=":
+            return False
+        column: Optional[ColumnRef] = None
+        if isinstance(conjunct.left, ColumnRef):
+            column = conjunct.left
+        elif isinstance(conjunct.right, ColumnRef):
+            column = conjunct.right
+        if column is None:
+            return False
+        column_binding = column.table.lower() if column.table else context.column_binding.get(column.name)
+        if column_binding != binding:
+            return False
+        return column.name == index.leading_column
+
+    # ------------------------------------------------------------------
+    # join planning
+    # ------------------------------------------------------------------
+
+    def _plan_joins(self, context: QueryContext) -> PlanNode:
+        bindings = list(context.relations)
+        base_plans = {
+            frozenset([binding]): self._scan_plan(context, context.relations[binding])
+            for binding in bindings
+        }
+        if len(bindings) == 1:
+            return base_plans[frozenset(bindings)]
+        if len(bindings) <= _DP_RELATION_LIMIT:
+            return self._dynamic_programming(context, bindings, base_plans)
+        return self._greedy_join(context, bindings, base_plans)
+
+    def _applicable_predicates(
+        self, context: QueryContext, left: frozenset[str], right: frozenset[str]
+    ) -> list[Expression]:
+        combined = left | right
+        predicates = []
+        for predicate in context.join_predicates:
+            touched = {
+                binding.lower()
+                for binding in referenced_bindings(predicate, context.column_binding)
+            }
+            if touched <= combined and touched & left and touched & right:
+                predicates.append(predicate)
+        return predicates
+
+    def _dynamic_programming(
+        self,
+        context: QueryContext,
+        bindings: list[str],
+        base_plans: dict[frozenset[str], PlanNode],
+    ) -> PlanNode:
+        best: dict[frozenset[str], PlanNode] = dict(base_plans)
+        for size in range(2, len(bindings) + 1):
+            for subset in itertools.combinations(bindings, size):
+                subset_key = frozenset(subset)
+                candidates: list[PlanNode] = []
+                for split in range(1, size):
+                    for left_combination in itertools.combinations(subset, split):
+                        left_key = frozenset(left_combination)
+                        right_key = subset_key - left_key
+                        if left_key not in best or right_key not in best:
+                            continue
+                        predicates = self._applicable_predicates(context, left_key, right_key)
+                        if not predicates and size < len(bindings):
+                            # postpone cross products until forced
+                            continue
+                        candidates.append(
+                            self._best_join(
+                                context, best[left_key], best[right_key], predicates
+                            )
+                        )
+                if not candidates:
+                    # forced cross product among whatever sub-plans exist
+                    for split in range(1, size):
+                        for left_combination in itertools.combinations(subset, split):
+                            left_key = frozenset(left_combination)
+                            right_key = subset_key - left_key
+                            if left_key in best and right_key in best:
+                                candidates.append(
+                                    self._best_join(context, best[left_key], best[right_key], [])
+                                )
+                if candidates:
+                    best[subset_key] = min(candidates, key=lambda plan: plan.total_cost)
+        final_key = frozenset(bindings)
+        if final_key not in best:
+            raise PlanningError("join ordering failed to cover all relations")
+        return best[final_key]
+
+    def _greedy_join(
+        self,
+        context: QueryContext,
+        bindings: list[str],
+        base_plans: dict[frozenset[str], PlanNode],
+    ) -> PlanNode:
+        remaining = {frozenset([binding]): plan for binding, plan in
+                     ((next(iter(key)), value) for key, value in base_plans.items())}
+        while len(remaining) > 1:
+            best_pair = None
+            best_plan = None
+            for left_key, right_key in itertools.combinations(list(remaining), 2):
+                predicates = self._applicable_predicates(context, left_key, right_key)
+                candidate = self._best_join(
+                    context, remaining[left_key], remaining[right_key], predicates
+                )
+                if best_plan is None or candidate.total_cost < best_plan.total_cost:
+                    best_plan = candidate
+                    best_pair = (left_key, right_key)
+            assert best_pair is not None and best_plan is not None
+            left_key, right_key = best_pair
+            remaining.pop(left_key)
+            remaining.pop(right_key)
+            remaining[left_key | right_key] = best_plan
+        return next(iter(remaining.values()))
+
+    def _best_join(
+        self,
+        context: QueryContext,
+        left: PlanNode,
+        right: PlanNode,
+        predicates: list[Expression],
+    ) -> PlanNode:
+        condition = combine_conjuncts(predicates)
+        selectivity = 1.0
+        for predicate in predicates:
+            selectivity *= context.estimator.selectivity(predicate)
+        output_rows = max(left.plan_rows * right.plan_rows * selectivity, 1.0)
+        equijoins = [predicate for predicate in predicates if is_equijoin(predicate)]
+
+        candidates: list[PlanNode] = []
+        if equijoins:
+            candidates.append(self._hash_join(left, right, condition, output_rows))
+            candidates.append(self._merge_join(left, right, condition, equijoins, output_rows))
+        candidates.append(self._nested_loop(left, right, condition, output_rows))
+        return min(candidates, key=lambda plan: plan.total_cost)
+
+    def _hash_join(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        condition: Optional[Expression],
+        output_rows: float,
+    ) -> PlanNode:
+        # build over the smaller input, as PostgreSQL does
+        if inner.plan_rows > outer.plan_rows:
+            outer, inner = inner, outer
+        hash_node = PlanNode(
+            node_type=HASH,
+            children=[inner],
+            total_cost=inner.total_cost
+            + inner.plan_rows * self._parameters.hash_build_cost_per_tuple,
+            plan_rows=inner.plan_rows,
+        )
+        join_cost = costmodel.hash_join_cost(outer.plan_rows, inner.plan_rows, self._parameters)
+        return PlanNode(
+            node_type=HASH_JOIN,
+            children=[outer, hash_node],
+            join_condition=condition,
+            total_cost=outer.total_cost + hash_node.total_cost + join_cost,
+            plan_rows=output_rows,
+        )
+
+    def _merge_join(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        condition: Optional[Expression],
+        equijoins: list[Expression],
+        output_rows: float,
+    ) -> PlanNode:
+        first = equijoins[0]
+        assert isinstance(first, BinaryOp)
+        outer_key = str(first.left)
+        inner_key = str(first.right)
+        outer_sort = PlanNode(
+            node_type=SORT,
+            children=[outer],
+            sort_keys=[outer_key],
+            total_cost=outer.total_cost + costmodel.sort_cost(outer.plan_rows, self._parameters),
+            plan_rows=outer.plan_rows,
+            extra={"order_expressions": [(first.left, False)]},
+        )
+        inner_sort = PlanNode(
+            node_type=SORT,
+            children=[inner],
+            sort_keys=[inner_key],
+            total_cost=inner.total_cost + costmodel.sort_cost(inner.plan_rows, self._parameters),
+            plan_rows=inner.plan_rows,
+            extra={"order_expressions": [(first.right, False)]},
+        )
+        join_cost = costmodel.merge_join_cost(outer.plan_rows, inner.plan_rows, self._parameters)
+        return PlanNode(
+            node_type=MERGE_JOIN,
+            children=[outer_sort, inner_sort],
+            join_condition=condition,
+            total_cost=outer_sort.total_cost + inner_sort.total_cost + join_cost,
+            plan_rows=output_rows,
+            extra={"merge_keys": [(predicate.left, predicate.right) for predicate in
+                                  equijoins if isinstance(predicate, BinaryOp)]},
+        )
+
+    def _nested_loop(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        condition: Optional[Expression],
+        output_rows: float,
+    ) -> PlanNode:
+        # prefer the smaller input as the outer loop
+        if outer.plan_rows > inner.plan_rows:
+            outer, inner = inner, outer
+        inner_child = inner
+        if inner.node_type not in (INDEX_SCAN,):
+            inner_child = PlanNode(
+                node_type=MATERIALIZE,
+                children=[inner],
+                total_cost=inner.total_cost
+                + inner.plan_rows * self._parameters.materialize_cost_per_tuple,
+                plan_rows=inner.plan_rows,
+            )
+        loop_cost = costmodel.nested_loop_cost(
+            outer.plan_rows,
+            inner_child.plan_rows * self._parameters.cpu_tuple_cost,
+            inner_child.plan_rows,
+            self._parameters,
+        )
+        return PlanNode(
+            node_type=NESTED_LOOP,
+            children=[outer, inner_child],
+            join_condition=condition,
+            total_cost=outer.total_cost + inner_child.total_cost + loop_cost,
+            plan_rows=output_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # aggregation / distinct / order / limit
+    # ------------------------------------------------------------------
+
+    def _plan_aggregation(self, context: QueryContext, child: PlanNode) -> PlanNode:
+        statement = context.statement
+        if not statement.has_aggregation:
+            return child
+        aggregate_calls = _deduplicate_aggregates(statement.aggregates())
+        group_expressions = list(statement.group_by)
+        group_keys = [str(expression) for expression in group_expressions]
+        if group_expressions:
+            groups = 1.0
+            for expression in group_expressions:
+                if isinstance(expression, ColumnRef):
+                    groups *= context.estimator.distinct_values(expression, child.plan_rows)
+                else:
+                    groups *= 10.0
+            groups = max(min(groups, child.plan_rows), 1.0)
+        else:
+            groups = 1.0
+
+        hashed_cost = child.total_cost + costmodel.aggregate_cost(
+            child.plan_rows, groups, self._parameters
+        )
+        sorted_cost = (
+            child.total_cost
+            + costmodel.sort_cost(child.plan_rows, self._parameters)
+            + costmodel.aggregate_cost(child.plan_rows, groups, self._parameters)
+        )
+        if not group_expressions:
+            strategy = "Plain"
+            node_type = AGGREGATE
+            aggregate_child = child
+            total_cost = hashed_cost
+        elif hashed_cost <= sorted_cost:
+            strategy = "Hashed"
+            node_type = HASH_AGGREGATE
+            aggregate_child = child
+            total_cost = hashed_cost
+        else:
+            strategy = "Sorted"
+            node_type = GROUP_AGGREGATE
+            aggregate_child = PlanNode(
+                node_type=SORT,
+                children=[child],
+                sort_keys=group_keys,
+                total_cost=child.total_cost + costmodel.sort_cost(child.plan_rows, self._parameters),
+                plan_rows=child.plan_rows,
+                extra={
+                    "order_expressions": [
+                        (expression, False) for expression in group_expressions
+                    ]
+                },
+            )
+            total_cost = sorted_cost
+        return PlanNode(
+            node_type=node_type,
+            children=[aggregate_child],
+            strategy=strategy,
+            group_keys=group_keys,
+            group_expressions=group_expressions,
+            aggregate_calls=aggregate_calls,
+            filter=statement.having,
+            total_cost=total_cost,
+            plan_rows=groups,
+        )
+
+    def _plan_distinct(self, context: QueryContext, child: PlanNode) -> PlanNode:
+        statement = context.statement
+        if not statement.distinct:
+            return child
+        keys = [str(item.expression) for item in statement.select_items]
+        key_expressions = [item.expression for item in statement.select_items]
+        if statement.has_aggregation or statement.order_by:
+            sort_node = PlanNode(
+                node_type=SORT,
+                children=[child],
+                sort_keys=keys,
+                total_cost=child.total_cost + costmodel.sort_cost(child.plan_rows, self._parameters),
+                plan_rows=child.plan_rows,
+                extra={
+                    "order_expressions": [
+                        (expression, False) for expression in key_expressions
+                    ]
+                },
+            )
+            return PlanNode(
+                node_type=UNIQUE,
+                children=[sort_node],
+                group_keys=keys,
+                total_cost=sort_node.total_cost + child.plan_rows * self._parameters.cpu_operator_cost,
+                plan_rows=max(child.plan_rows * 0.9, 1.0),
+                extra={"unique_expressions": key_expressions},
+            )
+        return PlanNode(
+            node_type=HASH_AGGREGATE,
+            children=[child],
+            strategy="Hashed",
+            group_keys=keys,
+            group_expressions=[item.expression for item in statement.select_items],
+            total_cost=child.total_cost
+            + costmodel.aggregate_cost(child.plan_rows, child.plan_rows * 0.9, self._parameters),
+            plan_rows=max(child.plan_rows * 0.9, 1.0),
+        )
+
+    def _plan_order_and_limit(self, context: QueryContext, child: PlanNode) -> PlanNode:
+        statement = context.statement
+        node = child
+        if statement.order_by:
+            keys = [str(item) for item in statement.order_by]
+            resolved = [
+                (_resolve_output_alias(item.expression, statement), item.descending)
+                for item in statement.order_by
+            ]
+            node = PlanNode(
+                node_type=SORT,
+                children=[node],
+                sort_keys=keys,
+                total_cost=node.total_cost + costmodel.sort_cost(node.plan_rows, self._parameters),
+                plan_rows=node.plan_rows,
+                extra={"order_expressions": resolved},
+            )
+        if statement.limit is not None:
+            limited = min(float(statement.limit), node.plan_rows)
+            node = PlanNode(
+                node_type=LIMIT,
+                children=[node],
+                total_cost=node.total_cost,
+                plan_rows=max(limited, 1.0),
+                extra={"limit": statement.limit, "offset": statement.offset or 0},
+            )
+        return node
+
+
+def _resolve_output_alias(expression: Expression, statement: SelectStatement) -> Expression:
+    """Resolve an ORDER BY reference to a SELECT output alias to its expression."""
+    if isinstance(expression, ColumnRef) and expression.table is None:
+        for item in statement.select_items:
+            if item.alias and item.alias == expression.name:
+                return item.expression
+    return expression
+
+
+def _deduplicate_aggregates(calls: list[FunctionCall]) -> list[FunctionCall]:
+    seen: dict[str, FunctionCall] = {}
+    for call in calls:
+        seen.setdefault(str(call), call)
+    return list(seen.values())

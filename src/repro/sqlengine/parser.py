@@ -1,0 +1,358 @@
+"""Recursive-descent parser for the SQL subset.
+
+The grammar covers what the TPC-H style workloads and the random query
+generator need: SELECT [DISTINCT], explicit and implicit joins, WHERE with
+AND/OR/NOT, LIKE, IN, BETWEEN, IS NULL, arithmetic, aggregates, GROUP BY,
+HAVING, ORDER BY, LIMIT and OFFSET.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    CaseExpression,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    JoinClause,
+    Literal,
+    NotOp,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+from repro.sqlengine.lexer import Token, tokenize
+
+_COMPARISON_OPERATORS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """Parses one SELECT statement from a token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _accept(self, kind: str, value: str | None = None) -> Optional[Token]:
+        if self._peek().matches(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if not token.matches(kind, value):
+            expected = value or kind
+            raise SQLSyntaxError(
+                f"expected {expected!r} but found {token.value!r} at offset {token.position}"
+            )
+        return self._advance()
+
+    # -- statements ------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self._expect("keyword", "select")
+        distinct = bool(self._accept("keyword", "distinct"))
+        select_items = self._parse_select_list()
+        self._expect("keyword", "from")
+        from_tables, joins = self._parse_from()
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._parse_expression()
+        group_by: list[Expression] = []
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by = self._parse_expression_list()
+        having = None
+        if self._accept("keyword", "having"):
+            having = self._parse_expression()
+        order_by: list[OrderItem] = []
+        if self._accept("keyword", "order"):
+            self._expect("keyword", "by")
+            order_by = self._parse_order_list()
+        limit = offset = None
+        if self._accept("keyword", "limit"):
+            limit = int(self._expect("number").value)
+        if self._accept("keyword", "offset"):
+            offset = int(self._expect("number").value)
+        self._accept("punct", ";")
+        if not self._peek().matches("eof"):
+            token = self._peek()
+            raise SQLSyntaxError(
+                f"unexpected trailing token {token.value!r} at offset {token.position}"
+            )
+        return SelectStatement(
+            select_items=select_items,
+            from_tables=from_tables,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    # -- clauses ---------------------------------------------------------
+
+    def _parse_select_list(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept("punct", ","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._peek().matches("punct", "*"):
+            self._advance()
+            return SelectItem(Star())
+        expression = self._parse_expression()
+        alias = None
+        if self._accept("keyword", "as"):
+            alias = self._expect("name").value
+        elif self._peek().kind == "name" and not self._peek(1).matches("punct", "("):
+            # bare alias (``expr alias``) — only when the next token cannot
+            # start a new clause.
+            alias = self._advance().value
+        return SelectItem(expression, alias)
+
+    def _parse_from(self) -> tuple[list[TableRef], list[JoinClause]]:
+        tables = [self._parse_table_ref()]
+        joins: list[JoinClause] = []
+        while True:
+            if self._accept("punct", ","):
+                tables.append(self._parse_table_ref())
+                continue
+            join_type = self._maybe_join_type()
+            if join_type is None:
+                break
+            table = self._parse_table_ref()
+            condition = None
+            if self._accept("keyword", "on"):
+                condition = self._parse_expression()
+            joins.append(JoinClause(table=table, condition=condition, join_type=join_type))
+        return tables, joins
+
+    def _maybe_join_type(self) -> Optional[str]:
+        if self._accept("keyword", "join"):
+            return "inner"
+        if self._peek().matches("keyword", "inner") and self._peek(1).matches("keyword", "join"):
+            self._advance()
+            self._advance()
+            return "inner"
+        for direction in ("left", "right"):
+            if self._peek().matches("keyword", direction):
+                offset = 1
+                if self._peek(1).matches("keyword", "outer"):
+                    offset = 2
+                if self._peek(offset).matches("keyword", "join"):
+                    for _ in range(offset + 1):
+                        self._advance()
+                    return direction
+        return None
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect("name").value
+        alias = None
+        if self._accept("keyword", "as"):
+            alias = self._expect("name").value
+        elif self._peek().kind == "name":
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    def _parse_order_list(self) -> list[OrderItem]:
+        items = [self._parse_order_item()]
+        while self._accept("punct", ","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self._parse_expression()
+        descending = False
+        if self._accept("keyword", "desc"):
+            descending = True
+        else:
+            self._accept("keyword", "asc")
+        return OrderItem(expression=expression, descending=descending)
+
+    def _parse_expression_list(self) -> list[Expression]:
+        items = [self._parse_expression()]
+        while self._accept("punct", ","):
+            items.append(self._parse_expression())
+        return items
+
+    # -- expressions (precedence climbing) --------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._accept("keyword", "or"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("or", operands)
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_not()]
+        while self._accept("keyword", "and"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("and", operands)
+
+    def _parse_not(self) -> Expression:
+        if self._accept("keyword", "not"):
+            return NotOp(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == "op" and token.value in _COMPARISON_OPERATORS:
+            operator = self._advance().value
+            right = self._parse_additive()
+            return BinaryOp(operator, left, right)
+        negated = False
+        if self._peek().matches("keyword", "not") and self._peek(1).value in ("like", "in", "between"):
+            self._advance()
+            negated = True
+        if self._accept("keyword", "like"):
+            right = self._parse_additive()
+            expr: Expression = BinaryOp("like", left, right)
+            return NotOp(expr) if negated else expr
+        if self._accept("keyword", "in"):
+            self._expect("punct", "(")
+            items = self._parse_expression_list()
+            self._expect("punct", ")")
+            return InList(left, items, negated=negated)
+        if self._accept("keyword", "between"):
+            low = self._parse_additive()
+            self._expect("keyword", "and")
+            high = self._parse_additive()
+            return Between(left, low, high, negated=negated)
+        if self._accept("keyword", "is"):
+            is_negated = bool(self._accept("keyword", "not"))
+            self._expect("keyword", "null")
+            return IsNull(left, negated=is_negated)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.matches("punct", "+") or token.matches("punct", "-"):
+                operator = self._advance().value
+                left = BinaryOp(operator, left, self._parse_multiplicative())
+            elif token.matches("op", "||"):
+                self._advance()
+                left = BinaryOp("||", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.matches("punct", "*") or token.matches("punct", "/") or token.matches("punct", "%"):
+                operator = self._advance().value
+                left = BinaryOp(operator, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        if self._accept("punct", "-"):
+            operand = self._parse_unary()
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            return BinaryOp("-", Literal(0), operand)
+        if self._accept("punct", "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.value)
+        if token.matches("keyword", "null"):
+            self._advance()
+            return Literal(None)
+        if token.matches("keyword", "case"):
+            return self._parse_case()
+        if token.matches("punct", "("):
+            self._advance()
+            expression = self._parse_expression()
+            self._expect("punct", ")")
+            return expression
+        if token.kind == "name":
+            return self._parse_name_or_call()
+        raise SQLSyntaxError(
+            f"unexpected token {token.value!r} at offset {token.position}"
+        )
+
+    def _parse_case(self) -> Expression:
+        self._expect("keyword", "case")
+        branches: list[tuple[Expression, Expression]] = []
+        while self._accept("keyword", "when"):
+            condition = self._parse_expression()
+            self._expect("keyword", "then")
+            result = self._parse_expression()
+            branches.append((condition, result))
+        default = None
+        if self._accept("keyword", "else"):
+            default = self._parse_expression()
+        self._expect("keyword", "end")
+        if not branches:
+            raise SQLSyntaxError("CASE expression requires at least one WHEN branch")
+        return CaseExpression(branches, default)
+
+    def _parse_name_or_call(self) -> Expression:
+        name = self._expect("name").value
+        if self._peek().matches("punct", "("):
+            self._advance()
+            distinct = bool(self._accept("keyword", "distinct"))
+            if self._accept("punct", "*"):
+                self._expect("punct", ")")
+                return FunctionCall(name, [Star()], distinct=distinct)
+            if self._accept("punct", ")"):
+                return FunctionCall(name, [], distinct=distinct)
+            arguments = self._parse_expression_list()
+            self._expect("punct", ")")
+            return FunctionCall(name, arguments, distinct=distinct)
+        if self._peek().matches("punct", "."):
+            self._advance()
+            if self._accept("punct", "*"):
+                return Star(table=name)
+            column = self._expect("name").value
+            return ColumnRef(column, table=name)
+        return ColumnRef(name)
+
+
+def parse_sql(sql: str) -> SelectStatement:
+    """Parse a SELECT statement and return its AST."""
+    return Parser(tokenize(sql)).parse_select()

@@ -1,0 +1,143 @@
+"""Physical plan nodes produced by the optimizer.
+
+A :class:`PlanNode` is deliberately close to what PostgreSQL's
+``EXPLAIN (FORMAT JSON)`` exposes: a node type string, costs, row estimates
+and a bag of node-specific attributes (relation, index, conditions, keys).
+The same structure serializes to the SQL Server showplan XML dialect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sqlengine.ast_nodes import Expression, FunctionCall, SelectItem
+
+#: Canonical node type names (PostgreSQL vocabulary).
+SEQ_SCAN = "Seq Scan"
+PARALLEL_SEQ_SCAN = "Parallel Seq Scan"
+INDEX_SCAN = "Index Scan"
+INDEX_ONLY_SCAN = "Index Only Scan"
+BITMAP_HEAP_SCAN = "Bitmap Heap Scan"
+BITMAP_INDEX_SCAN = "Bitmap Index Scan"
+HASH_JOIN = "Hash Join"
+MERGE_JOIN = "Merge Join"
+NESTED_LOOP = "Nested Loop"
+HASH = "Hash"
+SORT = "Sort"
+AGGREGATE = "Aggregate"
+GROUP_AGGREGATE = "GroupAggregate"
+HASH_AGGREGATE = "HashAggregate"
+UNIQUE = "Unique"
+LIMIT = "Limit"
+MATERIALIZE = "Materialize"
+GATHER = "Gather"
+RESULT = "Result"
+
+JOIN_NODE_TYPES = {HASH_JOIN, MERGE_JOIN, NESTED_LOOP}
+SCAN_NODE_TYPES = {
+    SEQ_SCAN,
+    PARALLEL_SEQ_SCAN,
+    INDEX_SCAN,
+    INDEX_ONLY_SCAN,
+    BITMAP_HEAP_SCAN,
+}
+AGGREGATE_NODE_TYPES = {AGGREGATE, GROUP_AGGREGATE, HASH_AGGREGATE}
+
+
+@dataclass
+class PlanNode:
+    """One operator in a physical plan tree."""
+
+    node_type: str
+    children: list["PlanNode"] = field(default_factory=list)
+    relation: Optional[str] = None
+    alias: Optional[str] = None
+    index_name: Optional[str] = None
+    filter: Optional[Expression] = None
+    index_condition: Optional[Expression] = None
+    join_condition: Optional[Expression] = None
+    join_type: str = "Inner"
+    sort_keys: list[str] = field(default_factory=list)
+    group_keys: list[str] = field(default_factory=list)
+    group_expressions: list[Expression] = field(default_factory=list)
+    aggregate_calls: list[FunctionCall] = field(default_factory=list)
+    strategy: Optional[str] = None
+    output: list[str] = field(default_factory=list)
+    startup_cost: float = 0.0
+    total_cost: float = 0.0
+    plan_rows: float = 1.0
+    plan_width: int = 32
+    parallel_workers: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # -- structure helpers ------------------------------------------------
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def is_join(self) -> bool:
+        return self.node_type in JOIN_NODE_TYPES
+
+    @property
+    def is_scan(self) -> bool:
+        return self.node_type in SCAN_NODE_TYPES
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.node_type in AGGREGATE_NODE_TYPES
+
+    def find(self, node_type: str) -> list["PlanNode"]:
+        return [node for node in self.walk() if node.node_type == node_type]
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def condition_text(self) -> str:
+        """The most informative condition attached to this node, as text."""
+        for candidate in (self.join_condition, self.index_condition, self.filter):
+            if candidate is not None:
+                return str(candidate)
+        return ""
+
+    def describe(self) -> str:
+        """Short one-line description used in logs and debugging."""
+        target = self.relation or self.index_name or ""
+        condition = self.condition_text()
+        parts = [self.node_type]
+        if target:
+            parts.append(f"on {target}")
+        if condition:
+            parts.append(f"[{condition}]")
+        return " ".join(parts)
+
+
+@dataclass
+class PhysicalPlan:
+    """A complete plan: the operator tree plus the query-level projection."""
+
+    root: PlanNode
+    select_items: list[SelectItem]
+    distinct: bool = False
+    statement_text: str = ""
+
+    @property
+    def total_cost(self) -> float:
+        return self.root.total_cost
+
+    @property
+    def estimated_rows(self) -> float:
+        return self.root.plan_rows
+
+    def operators(self) -> list[str]:
+        """All node type names appearing in the plan, pre-order."""
+        return [node.node_type for node in self.root.walk()]

@@ -1,0 +1,242 @@
+"""Table statistics and predicate selectivity estimation.
+
+The statistics collector (``ANALYZE`` equivalent) records per column: null
+fraction, number of distinct values, min/max, most common values, and an
+equi-depth histogram.  The estimator mirrors the classic System R /
+PostgreSQL rules of thumb: 1/NDV for equality, interpolated fraction for
+ranges, fixed defaults for LIKE and fall-back cases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    NotOp,
+)
+from repro.sqlengine.storage import HeapTable
+from repro.sqlengine.types import as_number, to_sortable
+
+DEFAULT_EQUALITY_SELECTIVITY = 0.005
+DEFAULT_RANGE_SELECTIVITY = 0.3333
+DEFAULT_LIKE_SELECTIVITY = 0.1
+DEFAULT_SELECTIVITY = 0.25
+_HISTOGRAM_BUCKETS = 32
+_MCV_COUNT = 8
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for one column of one table."""
+
+    null_fraction: float = 0.0
+    distinct_values: int = 1
+    minimum: Any = None
+    maximum: Any = None
+    most_common_values: list[tuple[Any, float]] = field(default_factory=list)
+    histogram_bounds: list[Any] = field(default_factory=list)
+
+    def equality_selectivity(self, value: Any) -> float:
+        for candidate, frequency in self.most_common_values:
+            if candidate == value:
+                return frequency
+        if self.distinct_values <= 0:
+            return DEFAULT_EQUALITY_SELECTIVITY
+        mcv_fraction = sum(frequency for _, frequency in self.most_common_values)
+        remaining = max(self.distinct_values - len(self.most_common_values), 1)
+        return max((1.0 - mcv_fraction - self.null_fraction) / remaining, 1e-6)
+
+    def range_selectivity(self, operator: str, value: Any) -> float:
+        """Selectivity of ``column <op> value`` using min/max interpolation."""
+        low = as_number(self.minimum)
+        high = as_number(self.maximum)
+        point = as_number(value)
+        if low is None or high is None or point is None or high <= low:
+            return DEFAULT_RANGE_SELECTIVITY
+        fraction_below = min(max((point - low) / (high - low), 0.0), 1.0)
+        if operator in ("<", "<="):
+            selectivity = fraction_below
+        elif operator in (">", ">="):
+            selectivity = 1.0 - fraction_below
+        else:
+            return DEFAULT_RANGE_SELECTIVITY
+        return min(max(selectivity * (1.0 - self.null_fraction), 1e-6), 1.0)
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for a table: cardinality, pages, and per-column details."""
+
+    row_count: int = 0
+    page_count: int = 1
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        return self.columns.get(name, ColumnStatistics())
+
+
+def analyze_table(table: HeapTable) -> TableStatistics:
+    """Collect statistics over every column of ``table``."""
+    statistics = TableStatistics(row_count=table.row_count, page_count=table.page_count)
+    total = table.row_count
+    for column in table.schema.columns:
+        values = table.column_values(column.name)
+        statistics.columns[column.name] = _analyze_column(values, total)
+    return statistics
+
+
+def _analyze_column(values: list[Any], total: int) -> ColumnStatistics:
+    if total == 0:
+        return ColumnStatistics()
+    non_null = [value for value in values if value is not None]
+    null_fraction = 1.0 - (len(non_null) / total)
+    if not non_null:
+        return ColumnStatistics(null_fraction=1.0, distinct_values=0)
+    counts: dict[Any, int] = {}
+    for value in non_null:
+        counts[value] = counts.get(value, 0) + 1
+    distinct = len(counts)
+    ordered = sorted(non_null, key=to_sortable)
+    most_common = sorted(counts.items(), key=lambda item: item[1], reverse=True)[:_MCV_COUNT]
+    mcv = [
+        (value, count / total)
+        for value, count in most_common
+        if count > 1 or distinct <= _MCV_COUNT
+    ]
+    bucket_count = min(_HISTOGRAM_BUCKETS, distinct)
+    bounds: list[Any] = []
+    if bucket_count >= 2:
+        step = (len(ordered) - 1) / bucket_count
+        bounds = [ordered[int(round(index * step))] for index in range(bucket_count + 1)]
+    return ColumnStatistics(
+        null_fraction=null_fraction,
+        distinct_values=distinct,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        most_common_values=mcv,
+        histogram_bounds=bounds,
+    )
+
+
+class SelectivityEstimator:
+    """Estimates predicate selectivity against a set of table statistics.
+
+    ``statistics`` maps relation *bindings* (aliases) to their
+    :class:`TableStatistics`; ``column_binding`` maps bare column names to
+    their binding so unqualified references resolve.
+    """
+
+    def __init__(
+        self,
+        statistics: Mapping[str, TableStatistics],
+        column_binding: Mapping[str, str] | None = None,
+    ) -> None:
+        self._statistics = {key.lower(): value for key, value in statistics.items()}
+        self._column_binding = {
+            key.lower(): value.lower() for key, value in (column_binding or {}).items()
+        }
+
+    def _column_statistics(self, column: ColumnRef) -> Optional[ColumnStatistics]:
+        binding = column.table.lower() if column.table else self._column_binding.get(column.name)
+        if binding is None:
+            return None
+        table_statistics = self._statistics.get(binding)
+        if table_statistics is None:
+            return None
+        return table_statistics.column(column.name)
+
+    def selectivity(self, expression: Optional[Expression]) -> float:
+        """Estimated fraction of rows satisfying ``expression``."""
+        if expression is None:
+            return 1.0
+        if isinstance(expression, BooleanOp):
+            parts = [self.selectivity(operand) for operand in expression.operands]
+            if expression.operator == "and":
+                return max(math.prod(parts), 1e-9)
+            combined = 1.0
+            for part in parts:
+                combined *= 1.0 - part
+            return min(max(1.0 - combined, 1e-9), 1.0)
+        if isinstance(expression, NotOp):
+            return min(max(1.0 - self.selectivity(expression.operand), 1e-9), 1.0)
+        if isinstance(expression, BinaryOp):
+            return self._binary_selectivity(expression)
+        if isinstance(expression, Between):
+            low = BinaryOp(">=", expression.operand, expression.low)
+            high = BinaryOp("<=", expression.operand, expression.high)
+            selectivity = self.selectivity(low) * self.selectivity(high)
+            selectivity = min(max(selectivity, 1e-9), 1.0)
+            return 1.0 - selectivity if expression.negated else selectivity
+        if isinstance(expression, InList):
+            base = 0.0
+            for item in expression.items:
+                base += self.selectivity(BinaryOp("=", expression.operand, item))
+            base = min(max(base, 1e-9), 1.0)
+            return 1.0 - base if expression.negated else base
+        if isinstance(expression, IsNull):
+            if isinstance(expression.operand, ColumnRef):
+                statistics = self._column_statistics(expression.operand)
+                if statistics is not None:
+                    fraction = statistics.null_fraction
+                    return (1.0 - fraction) if expression.negated else max(fraction, 1e-9)
+            return DEFAULT_EQUALITY_SELECTIVITY
+        return DEFAULT_SELECTIVITY
+
+    def _binary_selectivity(self, expression: BinaryOp) -> float:
+        operator = expression.operator
+        left, right = expression.left, expression.right
+        if operator == "like":
+            return DEFAULT_LIKE_SELECTIVITY
+        column, literal = None, None
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            column, literal = left, right.value
+        elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+            column, literal = right, left.value
+            operator = _flip_operator(operator)
+        if column is not None:
+            statistics = self._column_statistics(column)
+            if statistics is None:
+                return (
+                    DEFAULT_EQUALITY_SELECTIVITY
+                    if operator == "="
+                    else DEFAULT_RANGE_SELECTIVITY
+                )
+            if operator == "=":
+                return statistics.equality_selectivity(literal)
+            if operator in ("<>", "!="):
+                return min(max(1.0 - statistics.equality_selectivity(literal), 1e-9), 1.0)
+            return statistics.range_selectivity(operator, literal)
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            return self.join_selectivity(left, right)
+        return DEFAULT_SELECTIVITY
+
+    def join_selectivity(self, left: ColumnRef, right: ColumnRef) -> float:
+        """Equi-join selectivity: 1 / max(NDV(left), NDV(right))."""
+        left_statistics = self._column_statistics(left)
+        right_statistics = self._column_statistics(right)
+        left_ndv = left_statistics.distinct_values if left_statistics else 0
+        right_ndv = right_statistics.distinct_values if right_statistics else 0
+        ndv = max(left_ndv, right_ndv, 1)
+        return 1.0 / ndv
+
+    def distinct_values(self, column: ColumnRef, row_count: float) -> float:
+        """Estimated number of distinct values of a column within ``row_count`` rows."""
+        statistics = self._column_statistics(column)
+        if statistics is None or statistics.distinct_values <= 0:
+            return max(min(row_count, 200.0), 1.0)
+        return max(min(float(statistics.distinct_values), row_count), 1.0)
+
+
+def _flip_operator(operator: str) -> str:
+    flips = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    return flips.get(operator, operator)

@@ -1,0 +1,200 @@
+"""In-memory storage: heap tables and secondary indexes."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import CatalogError, ExecutionError
+from repro.sqlengine.schema import Index, TableSchema
+from repro.sqlengine.types import coerce, to_sortable
+
+
+class HeapTable:
+    """Row storage for one table: a list of tuples in insertion order."""
+
+    #: approximate bytes per value used to derive a page count for the cost model
+    _BYTES_PER_VALUE = 16
+    _PAGE_SIZE = 8192
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[tuple[Any, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    @property
+    def page_count(self) -> int:
+        """Number of 8 KB pages the table would occupy on disk."""
+        bytes_per_row = max(1, len(self.schema.columns)) * self._BYTES_PER_VALUE
+        total = bytes_per_row * max(1, len(self._rows))
+        return max(1, total // self._PAGE_SIZE)
+
+    def insert(self, values: Sequence[Any] | dict[str, Any]) -> None:
+        """Insert one row given positionally or as a column->value mapping."""
+        if isinstance(values, dict):
+            ordered = [values.get(column.name) for column in self.schema.columns]
+        else:
+            if len(values) != len(self.schema.columns):
+                raise ExecutionError(
+                    f"table {self.schema.name!r} expects {len(self.schema.columns)} values, "
+                    f"got {len(values)}"
+                )
+            ordered = list(values)
+        row = tuple(
+            coerce(value, column.data_type)
+            for value, column in zip(ordered, self.schema.columns)
+        )
+        self._rows.append(row)
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | dict[str, Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def scan(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def fetch(self, row_id: int) -> tuple[Any, ...]:
+        return self._rows[row_id]
+
+    def column_values(self, column: str) -> list[Any]:
+        position = self.schema.position(column)
+        return [row[position] for row in self._rows]
+
+    def as_dicts(self, binding: str | None = None) -> Iterator[dict[str, Any]]:
+        """Yield rows as ``binding.column`` keyed dictionaries."""
+        prefix = (binding or self.schema.name).lower()
+        names = [f"{prefix}.{column.name}" for column in self.schema.columns]
+        for row in self._rows:
+            yield dict(zip(names, row))
+
+
+class HashIndexData:
+    """Equality-lookup index: value -> list of row ids."""
+
+    def __init__(self, index: Index, table: HeapTable) -> None:
+        self.index = index
+        self._buckets: dict[Any, list[int]] = {}
+        positions = [table.schema.position(column) for column in index.columns]
+        for row_id, row in enumerate(table.scan()):
+            key = tuple(row[position] for position in positions)
+            key = key[0] if len(key) == 1 else key
+            self._buckets.setdefault(key, []).append(row_id)
+
+    def lookup(self, key: Any) -> list[int]:
+        return list(self._buckets.get(key, []))
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+
+class BTreeIndexData:
+    """Ordered index: sorted (key, row id) pairs supporting range scans."""
+
+    def __init__(self, index: Index, table: HeapTable) -> None:
+        self.index = index
+        position = table.schema.position(index.leading_column)
+        pairs = [
+            (to_sortable(row[position]), row[position], row_id)
+            for row_id, row in enumerate(table.scan())
+        ]
+        pairs.sort(key=lambda pair: pair[0])
+        self._sort_keys = [pair[0] for pair in pairs]
+        self._entries = [(pair[1], pair[2]) for pair in pairs]
+
+    def range_lookup(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> list[int]:
+        """Row ids whose leading key falls within [low, high]."""
+        start = 0
+        end = len(self._entries)
+        if low is not None:
+            key = to_sortable(low)
+            start = (
+                bisect.bisect_left(self._sort_keys, key)
+                if low_inclusive
+                else bisect.bisect_right(self._sort_keys, key)
+            )
+        if high is not None:
+            key = to_sortable(high)
+            end = (
+                bisect.bisect_right(self._sort_keys, key)
+                if high_inclusive
+                else bisect.bisect_left(self._sort_keys, key)
+            )
+        return [row_id for _, row_id in self._entries[start:end]]
+
+    def lookup(self, key: Any) -> list[int]:
+        return self.range_lookup(low=key, high=key)
+
+    @property
+    def distinct_keys(self) -> int:
+        seen = set(self._sort_keys)
+        return len(seen)
+
+
+class StorageManager:
+    """Owns heap tables and (lazily rebuilt) index data structures."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, HeapTable] = {}
+        self._index_data: dict[str, HashIndexData | BTreeIndexData] = {}
+        self._index_defs: dict[str, Index] = {}
+        self._dirty: set[str] = set()
+
+    def create_table(self, schema: TableSchema) -> HeapTable:
+        key = schema.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"storage for table {schema.name!r} already exists")
+        table = HeapTable(schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)
+        for index_name, index in list(self._index_defs.items()):
+            if index.table.lower() == name.lower():
+                self._index_defs.pop(index_name, None)
+                self._index_data.pop(index_name, None)
+
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no storage for table {name!r}") from None
+
+    def register_index(self, index: Index) -> None:
+        self._index_defs[index.name.lower()] = index
+        self._dirty.add(index.name.lower())
+
+    def mark_dirty(self, table: str) -> None:
+        for name, index in self._index_defs.items():
+            if index.table.lower() == table.lower():
+                self._dirty.add(name)
+
+    def index_data(self, name: str) -> HashIndexData | BTreeIndexData:
+        key = name.lower()
+        if key not in self._index_defs:
+            raise CatalogError(f"index {name!r} is not registered")
+        if key in self._dirty or key not in self._index_data:
+            index = self._index_defs[key]
+            table = self.table(index.table)
+            if index.kind == "hash":
+                self._index_data[key] = HashIndexData(index, table)
+            else:
+                self._index_data[key] = BTreeIndexData(index, table)
+            self._dirty.discard(key)
+        return self._index_data[key]

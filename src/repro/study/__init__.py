@@ -1,0 +1,30 @@
+"""Learner-population simulation for the user studies (paper §7.3).
+
+The paper's evaluation relies on surveys of 43–62 student volunteers.  Real
+subjects are not available to an offline reproduction, so this package
+implements a documented simulator grounded in the habituation/boredom
+literature the paper cites: responses decay under repeated exposure to
+near-identical text (habituation), diversity restores arousal, comprehension
+ratings depend on the readability of the presented artifact and on error
+tokens, and per-learner traits (reading skill, boredom proneness, error
+tolerance) vary across the population.
+
+The experiment drivers consume *real system output* (actual JSON plans,
+visual trees, RULE-/NEURAL-LANTERN narrations), so what is simulated is only
+the human judgement, not the artifacts being judged.
+"""
+
+from repro.study.boredom import HabituationModel, boredom_likert
+from repro.study.learner import LearnerProfile, SimulatedLearner
+from repro.study.surveys import LikertDistribution, QEP_FORMATS
+from repro.study.experiments import LearnerPopulation
+
+__all__ = [
+    "HabituationModel",
+    "LearnerPopulation",
+    "LearnerProfile",
+    "LikertDistribution",
+    "QEP_FORMATS",
+    "SimulatedLearner",
+    "boredom_likert",
+]

@@ -1,0 +1,251 @@
+"""Drivers for the paper's surveys and user studies (US 1–US 6, Figures 3, 8, 9, Table 7).
+
+Each driver takes *real artifacts produced by the system* (EXPLAIN JSON
+documents, visual trees, RULE-/NEURAL-LANTERN narrations) plus a simulated
+learner population, and returns the same distributions the paper plots.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.narration import Narration
+from repro.study.learner import LearnerProfile, SimulatedLearner
+from repro.study.surveys import LikertDistribution, PreferenceShares
+
+
+class LearnerPopulation:
+    """A reproducible population of simulated volunteers."""
+
+    def __init__(self, size: int = 43, seed: int = 2021) -> None:
+        rng = random.Random(seed)
+        self.learners = [
+            SimulatedLearner(LearnerProfile.sample(rng), seed=rng.randrange(1 << 30))
+            for _ in range(size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.learners)
+
+    def __iter__(self):
+        return iter(self.learners)
+
+
+@dataclass
+class StudyMaterials:
+    """The artifacts shown to learners during the surveys."""
+
+    json_documents: list[str] = field(default_factory=list)
+    xml_documents: list[str] = field(default_factory=list)
+    visual_trees: list[str] = field(default_factory=list)
+    rule_narrations: list[Narration] = field(default_factory=list)
+    neural_texts: list[str] = field(default_factory=list)
+    neural_wrong_token_ratio: float = 0.02
+
+    @property
+    def rule_texts(self) -> list[str]:
+        return [narration.text for narration in self.rule_narrations]
+
+    def average_size(self, artifact: str) -> int:
+        documents = {
+            "json": self.json_documents,
+            "xml": self.xml_documents,
+            "visual-tree": self.visual_trees,
+            "nl-rule": self.rule_texts,
+            "nl-neural": self.neural_texts,
+        }[artifact]
+        if not documents:
+            return 0
+        return int(sum(len(document.split()) for document in documents) / len(documents))
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — preliminary survey of QEP formats (62 volunteers, 3 formats)
+# ---------------------------------------------------------------------------
+
+
+def format_preference_survey(
+    materials: StudyMaterials, population: LearnerPopulation
+) -> PreferenceShares:
+    """Which format (JSON, visual tree, NL description) helps most?"""
+    shares = PreferenceShares()
+    for learner in population:
+        ratings = {
+            "json": learner.rate_ease("json", materials.average_size("json")),
+            "visual-tree": learner.rate_ease("visual-tree", materials.average_size("visual-tree")),
+            "nl-rule": learner.rate_ease("nl-rule", materials.average_size("nl-rule")),
+        }
+        choice = learner.choose_format(ratings)
+        shares.add("nl" if choice.startswith("nl") else choice)
+    return shares
+
+
+# ---------------------------------------------------------------------------
+# US 1 — Q1 / Q2 / Q3 (Figures 8(b)-(d))
+# ---------------------------------------------------------------------------
+
+
+def q1_ease_of_understanding(
+    materials: StudyMaterials, population: LearnerPopulation
+) -> dict[str, LikertDistribution]:
+    """Q1: ease of understanding per format."""
+    results = {fmt: LikertDistribution() for fmt in ("json", "visual-tree", "nl-rule", "nl-neural")}
+    for learner in population:
+        results["json"].add(learner.rate_ease("json", materials.average_size("json")))
+        results["visual-tree"].add(
+            learner.rate_ease("visual-tree", materials.average_size("visual-tree"))
+        )
+        results["nl-rule"].add(learner.rate_ease("nl-rule", materials.average_size("nl-rule")))
+        results["nl-neural"].add(learner.rate_ease("nl-neural", materials.average_size("nl-neural")))
+    return results
+
+
+def q2_description_quality(
+    population: LearnerPopulation,
+    conditions: Mapping[str, float],
+    generators: Optional[Mapping[str, str]] = None,
+) -> dict[str, LikertDistribution]:
+    """Q2: how well does each condition describe the plans?
+
+    ``conditions`` maps a condition name to its wrong-token ratio;
+    ``generators`` optionally maps the condition to "rule"/"neural"
+    (defaults to neural for any condition that is not exactly "nl-rule").
+    """
+    results = {condition: LikertDistribution() for condition in conditions}
+    for learner in population:
+        for condition, wrong_ratio in conditions.items():
+            generator = (generators or {}).get(
+                condition, "rule" if condition == "nl-rule" else "neural"
+            )
+            results[condition].add(
+                learner.rate_description_quality(wrong_ratio, generator=generator)
+            )
+    return results
+
+
+def q3_preferred_format(
+    materials: StudyMaterials, population: LearnerPopulation
+) -> PreferenceShares:
+    """Q3: single most preferred format among JSON, visual tree, RULE, NEURAL."""
+    shares = PreferenceShares()
+    for learner in population:
+        ratings = {
+            "json": learner.rate_ease("json", materials.average_size("json")),
+            "visual-tree": learner.rate_ease("visual-tree", materials.average_size("visual-tree")),
+            "nl-rule": learner.rate_ease("nl-rule", materials.average_size("nl-rule")),
+            "nl-neural": learner.rate_ease("nl-neural", materials.average_size("nl-neural")),
+        }
+        shares.add(learner.choose_format(ratings))
+    return shares
+
+
+# ---------------------------------------------------------------------------
+# US 3 — boredom / habituation (Table 7)
+# ---------------------------------------------------------------------------
+
+
+def boredom_study(
+    sequences: Mapping[str, Sequence[str]], population: LearnerPopulation
+) -> dict[str, LikertDistribution]:
+    """Each learner reads every method's output sequence and reports a boredom index."""
+    results = {method: LikertDistribution() for method in sequences}
+    for learner in population:
+        for method, texts in sequences.items():
+            results[method].add(learner.read_session(list(texts)))
+    return results
+
+
+def mixed_output_marking(
+    labelled_texts: Sequence[tuple[str, str]], population: LearnerPopulation
+) -> dict[str, dict[str, int]]:
+    """US 3 (second part): learners mark boring vs interesting outputs in a mixed stream.
+
+    ``labelled_texts`` is a sequence of (generator label, text); returns per
+    label how many texts were marked boring and how many aroused interest
+    (counted once per text if any learner marked it, as in the paper).
+    """
+    marked_boring: dict[str, set[int]] = {}
+    marked_interesting: dict[str, set[int]] = {}
+    for learner in population:
+        boring, interesting = learner.mark_boring_outputs([text for _, text in labelled_texts])
+        for index in boring:
+            marked_boring.setdefault(labelled_texts[index][0], set()).add(index)
+        for index in interesting:
+            marked_interesting.setdefault(labelled_texts[index][0], set()).add(index)
+    labels = {label for label, _ in labelled_texts}
+    return {
+        label: {
+            "total": sum(1 for l, _ in labelled_texts if l == label),
+            "marked": len(marked_boring.get(label, set())),
+            "aroused_interest": len(marked_interesting.get(label, set())),
+        }
+        for label in labels
+    }
+
+
+# ---------------------------------------------------------------------------
+# US 4 — impact of incorrect tokens
+# ---------------------------------------------------------------------------
+
+
+def error_impact_study(
+    population: LearnerPopulation, error_samples: Sequence[tuple[int, int]]
+) -> int:
+    """How many learners find the wrong tokens problematic (rating below 3)?
+
+    ``error_samples`` is a list of (wrong-token count, description length)
+    pairs drawn from the actual neural output audit.
+    """
+    problematic = 0
+    for learner in population:
+        votes = [
+            learner.finds_errors_problematic(wrong, length) for wrong, length in error_samples
+        ]
+        if votes and sum(votes) / len(votes) > 0.5:
+            problematic += 1
+    return problematic
+
+
+# ---------------------------------------------------------------------------
+# US 5 — LANTERN vs NEURON
+# ---------------------------------------------------------------------------
+
+
+def lantern_vs_neuron_study(
+    population: LearnerPopulation,
+    lantern_success_rate: float,
+    neuron_success_rate: float,
+    lantern_wrong_token_ratio: float = 0.02,
+) -> dict[str, LikertDistribution]:
+    """Q2 ratings for the two systems given their actual translation coverage.
+
+    A failed translation (NEURON on SQL Server plans) is experienced as an
+    unusable description and rated at the bottom of the scale.
+    """
+    results = {"lantern": LikertDistribution(), "neuron": LikertDistribution()}
+    rng = random.Random(77)
+    for learner in population:
+        for system, success_rate, wrong_ratio, generator in (
+            ("lantern", lantern_success_rate, lantern_wrong_token_ratio, "neural"),
+            ("neuron", neuron_success_rate, 0.0, "rule"),
+        ):
+            if rng.random() <= success_rate:
+                results[system].add(learner.rate_description_quality(wrong_ratio, generator=generator))
+            else:
+                results[system].add(rng.choice([1, 1, 2]))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# US 6 — presentation modes
+# ---------------------------------------------------------------------------
+
+
+def presentation_study(population: LearnerPopulation) -> PreferenceShares:
+    """Document-style text vs NL-annotated visual tree."""
+    shares = PreferenceShares()
+    for learner in population:
+        shares.add(learner.choose_presentation())
+    return shares

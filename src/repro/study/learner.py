@@ -1,0 +1,145 @@
+"""A simulated database-course learner."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.study.boredom import HabituationModel, boredom_likert
+
+
+@dataclass
+class LearnerProfile:
+    """Per-learner traits drawn once per simulated volunteer."""
+
+    reading_skill: float      # 0..1 — comfort with dense technical formats
+    boredom_proneness: float  # 0..1 — how quickly repetition bores this learner
+    error_tolerance: float    # 0..1 — tolerance for occasional wrong tokens
+    visual_affinity: float    # 0..1 — preference for diagrammatic formats
+    first_course: bool        # most volunteers take the database course for the first time
+
+    @classmethod
+    def sample(cls, rng: random.Random) -> "LearnerProfile":
+        return cls(
+            reading_skill=rng.betavariate(2.2, 2.0),
+            boredom_proneness=rng.betavariate(2.0, 2.2),
+            error_tolerance=rng.betavariate(3.0, 1.6),
+            visual_affinity=rng.betavariate(2.0, 2.4),
+            first_course=rng.random() < 0.85,
+        )
+
+
+#: Baseline readability of each QEP format, before per-learner adjustment.
+#: NL narration reads like a textbook; the visual tree is succinct but hides
+#: detail; raw JSON/XML assumes vendor-specific knowledge.
+_FORMAT_READABILITY = {
+    "nl-rule": 0.82,
+    "nl-neural": 0.80,
+    "visual-tree": 0.62,
+    "json": 0.28,
+    "xml": 0.26,
+}
+
+
+def _to_likert(score: float) -> int:
+    """Map a 0..1 utility score to a 1–5 Likert rating."""
+    bounded = min(max(score, 0.0), 1.0)
+    return min(5, max(1, int(round(bounded * 4)) + 1))
+
+
+class SimulatedLearner:
+    """One volunteer: rates artifacts, chooses formats, and gets bored."""
+
+    def __init__(self, profile: LearnerProfile, seed: int) -> None:
+        self.profile = profile
+        self._rng = random.Random(seed)
+        self.habituation = HabituationModel(boredom_proneness=0.4 + 0.8 * profile.boredom_proneness)
+
+    # ------------------------------------------------------------------
+    # comprehension ratings (Q1 / Q2)
+    # ------------------------------------------------------------------
+
+    def rate_ease(self, format_kind: str, size_tokens: int = 0) -> int:
+        """Q1: how easy is it to understand the plan in this format?"""
+        base = _FORMAT_READABILITY.get(format_kind, 0.5)
+        skill_adjustment = (self.profile.reading_skill - 0.5) * (0.35 if format_kind in ("json", "xml") else 0.1)
+        length_penalty = min(size_tokens / 4000.0, 0.15) if format_kind in ("json", "xml") else min(size_tokens / 12000.0, 0.05)
+        noise = self._rng.gauss(0.0, 0.08)
+        return _to_likert(base + skill_adjustment - length_penalty + noise)
+
+    def rate_description_quality(self, wrong_token_ratio: float = 0.0, generator: str = "rule") -> int:
+        """Q2: how well does the description explain the execution steps?"""
+        base = 0.84 if generator == "rule" else 0.80
+        error_penalty = wrong_token_ratio * (1.2 - self.profile.error_tolerance)
+        noise = self._rng.gauss(0.0, 0.08)
+        return _to_likert(base - error_penalty + noise)
+
+    # ------------------------------------------------------------------
+    # preferences (Q3, US 6)
+    # ------------------------------------------------------------------
+
+    def choose_format(self, candidates: dict[str, int]) -> str:
+        """Q3: pick the most preferred format given this learner's Q1-style ratings."""
+        scored = {}
+        for format_kind, rating in candidates.items():
+            bonus = 0.0
+            if format_kind == "visual-tree":
+                bonus = self.profile.visual_affinity * 0.8
+            if format_kind.startswith("nl"):
+                bonus = 0.45
+            scored[format_kind] = rating + bonus + self._rng.gauss(0.0, 0.35)
+        return max(scored, key=scored.get)
+
+    def choose_presentation(self) -> str:
+        """US 6: document-style text vs NL-annotated visual tree."""
+        # first-time learners overwhelmingly prefer the familiar textbook style;
+        # integrating per-node annotations with the tree costs mental overhead.
+        annotated_appeal = self.profile.visual_affinity * 0.55 + (0.0 if self.profile.first_course else 0.25)
+        document_appeal = 0.6 + (0.15 if self.profile.first_course else 0.0)
+        noise = self._rng.gauss(0.0, 0.1)
+        return "annotated-tree" if annotated_appeal + noise > document_appeal else "document"
+
+    # ------------------------------------------------------------------
+    # boredom (US 3) and error impact (US 4)
+    # ------------------------------------------------------------------
+
+    def read_session(self, descriptions: list[str]) -> int:
+        """Read a sequence of descriptions and report the boredom index (1–5).
+
+        The rating reflects how much of the session felt repetitive (the
+        normalized habituation measure), scaled by this learner's boredom
+        proneness, with self-report noise.
+        """
+        self.habituation.reset()
+        self.habituation.expose_all(descriptions)
+        score = self.habituation.repetition_fraction * (0.45 + 0.65 * self.profile.boredom_proneness)
+        thresholds = (0.16, 0.34, 0.52, 0.72)
+        rating = 5
+        for likert, threshold in enumerate(thresholds, start=1):
+            if score < threshold:
+                rating = likert
+                break
+        jitter = self._rng.choice([-1, 0, 0, 0, 1])
+        return min(5, max(1, rating + jitter))
+
+    def mark_boring_outputs(self, descriptions: list[str]) -> tuple[list[int], list[int]]:
+        """Return (indices marked boring, indices that aroused interest)."""
+        self.habituation.reset()
+        boring: list[int] = []
+        interesting: list[int] = []
+        previous_state = 0.0
+        for index, text in enumerate(descriptions):
+            state = self.habituation.expose(text)
+            if state - previous_state > 0.12 and state > 0.8:
+                boring.append(index)
+            elif state < previous_state - 0.02 and index > 0:
+                interesting.append(index)
+            previous_state = state
+        return boring, interesting
+
+    def finds_errors_problematic(self, wrong_token_count: int, description_length: int) -> bool:
+        """US 4: does this learner feel wrong tokens hurt comprehension?"""
+        if wrong_token_count == 0 or description_length == 0:
+            return False
+        severity = wrong_token_count / max(description_length, 1)
+        return severity * (1.4 - self.profile.error_tolerance) > 0.06 + self._rng.gauss(0.0, 0.015)

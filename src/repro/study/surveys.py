@@ -1,0 +1,98 @@
+"""Survey instruments and result containers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+#: The QEP formats compared throughout the paper's surveys.
+QEP_FORMATS = ("json", "visual-tree", "nl-rule", "nl-neural")
+
+#: Human-readable labels used when printing benchmark tables.
+FORMAT_LABELS = {
+    "json": "JSON",
+    "xml": "XML",
+    "visual-tree": "Visual tree",
+    "nl-rule": "RULE-LANTERN",
+    "nl-neural": "NEURAL-LANTERN",
+    "document": "document-style text",
+    "annotated-tree": "annotated visual tree",
+}
+
+
+@dataclass
+class LikertDistribution:
+    """Counts of 1–5 responses to one survey question."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, rating: int) -> None:
+        if not 1 <= rating <= 5:
+            raise ValueError(f"Likert rating must be 1..5, got {rating}")
+        self.counts[rating] += 1
+
+    def extend(self, ratings: Iterable[int]) -> None:
+        for rating in ratings:
+            self.add(rating)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, rating: int) -> int:
+        return self.counts.get(rating, 0)
+
+    def fraction_above(self, threshold: int = 3) -> float:
+        """Share of responses strictly above ``threshold`` (the paper's headline stat)."""
+        if not self.total:
+            return 0.0
+        return sum(count for rating, count in self.counts.items() if rating > threshold) / self.total
+
+    def mean(self) -> float:
+        if not self.total:
+            return 0.0
+        return sum(rating * count for rating, count in self.counts.items()) / self.total
+
+    def as_row(self) -> list[int]:
+        return [self.count(rating) for rating in range(1, 6)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LikertDistribution({self.as_row()})"
+
+
+@dataclass
+class PreferenceShares:
+    """Result of a "which do you prefer most?" question."""
+
+    votes: Counter = field(default_factory=Counter)
+
+    def add(self, choice: str) -> None:
+        self.votes[choice] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.votes.values())
+
+    def share(self, choice: str) -> float:
+        if not self.total:
+            return 0.0
+        return self.votes.get(choice, 0) / self.total
+
+    def ranking(self) -> list[tuple[str, float]]:
+        return sorted(
+            ((choice, self.share(choice)) for choice in self.votes),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+
+
+def format_likert_table(distributions: Mapping[str, LikertDistribution]) -> str:
+    """Render a {condition -> Likert distribution} mapping as an aligned text table."""
+    header = f"{'condition':<28}" + "".join(f"{rating:>6}" for rating in range(1, 6)) + f"{'>3':>8}"
+    lines = [header, "-" * len(header)]
+    for condition, distribution in distributions.items():
+        label = FORMAT_LABELS.get(condition, condition)
+        row = "".join(f"{distribution.count(rating):>6}" for rating in range(1, 6))
+        lines.append(f"{label:<28}{row}{distribution.fraction_above():>8.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Workloads: schemas, synthetic data generators, and query sets.
+
+The paper evaluates LANTERN on TPC-H, SDSS, IMDB, and DBLP.  None of those
+datasets is available offline, so each module builds a deterministic
+synthetic instance with the same schema shape and a query workload covering
+the same operator mix.  :mod:`repro.workloads.generator` implements the
+schema-driven random query generation used to create neural training data
+(the role played by Kipf et al.'s generator in the paper).
+"""
+
+from repro.workloads.dblp import build_dblp_database
+from repro.workloads.generator import GeneratedQuery, RandomQueryGenerator
+from repro.workloads.imdb import build_imdb_database
+from repro.workloads.sdss import build_sdss_database, sdss_queries
+from repro.workloads.tpch import build_tpch_database, tpch_queries
+
+__all__ = [
+    "GeneratedQuery",
+    "RandomQueryGenerator",
+    "build_dblp_database",
+    "build_imdb_database",
+    "build_sdss_database",
+    "build_tpch_database",
+    "sdss_queries",
+    "tpch_queries",
+]

@@ -1,0 +1,79 @@
+"""A small DBLP-style bibliography database (the running example of the paper)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.sqlengine import Database, DataType
+
+VENUES = ["SIGMOD", "VLDB", "ICDE", "EDBT", "CIKM", "KDD", "WWW", "SIGIR"]
+MONTHS = [
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+]
+
+
+def build_dblp_database(publication_count: int = 3000, seed: int = 5) -> Database:
+    """Create and populate a DBLP-shaped database (inproceedings/publication/author)."""
+    rng = random.Random(seed)
+    db = Database("dblp", enable_parallel=False)
+
+    db.create_table("publication", [
+        ("pub_key", DataType.TEXT), ("title", DataType.TEXT), ("year", DataType.INTEGER),
+        ("pages", DataType.INTEGER),
+    ], primary_key=("pub_key",))
+    db.create_table("inproceedings", [
+        ("paper_key", DataType.TEXT), ("proceeding_key", DataType.TEXT),
+        ("venue", DataType.TEXT), ("year", DataType.INTEGER),
+    ], primary_key=("paper_key",))
+    db.create_table("author", [
+        ("author_id", DataType.INTEGER), ("name", DataType.TEXT), ("paper_key", DataType.TEXT),
+    ])
+
+    proceeding_count = max(publication_count // 200, 10)
+    publications = []
+    inproceedings = []
+    authors = []
+    author_id = 1
+    for index in range(1, publication_count + 1):
+        venue = rng.choice(VENUES)
+        year = rng.randint(2000, 2020)
+        proceeding = f"conf/{venue.lower()}/{year}-{rng.randint(1, proceeding_count)}"
+        paper_key = f"conf/{venue.lower()}/paper{index}"
+        month = rng.choice(MONTHS)
+        publications.append((
+            paper_key,
+            f"A study of topic {index} ({month} edition)",
+            year,
+            rng.randint(4, 18),
+        ))
+        inproceedings.append((paper_key, proceeding, venue, year))
+        for _ in range(rng.randint(1, 4)):
+            authors.append((author_id, f"Author {rng.randint(1, publication_count // 2)}", paper_key))
+            author_id += 1
+
+    db.insert("publication", publications)
+    db.insert("inproceedings", inproceedings)
+    db.insert("author", authors)
+
+    db.create_index("idx_publication_key", "publication", ["pub_key"])
+    db.create_index("idx_inproceedings_key", "inproceedings", ["paper_key"])
+    db.create_index("idx_author_paper", "author", ["paper_key"])
+    db.analyze()
+    return db
+
+
+#: join edges of the DBLP schema used by the random query generator.
+DBLP_JOIN_GRAPH: list[tuple[str, str, str, str]] = [
+    ("inproceedings", "paper_key", "publication", "pub_key"),
+    ("author", "paper_key", "publication", "pub_key"),
+]
+
+#: the running-example query of the paper (Example 3.1), adapted to this schema.
+EXAMPLE_QUERY = """
+    SELECT DISTINCT i.proceeding_key
+    FROM inproceedings i, publication p
+    WHERE i.paper_key = p.pub_key AND p.title LIKE '%July%'
+    GROUP BY i.proceeding_key
+    HAVING count(*) > 2
+"""

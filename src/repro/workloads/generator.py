@@ -1,0 +1,242 @@
+"""Schema-driven random query generation (paper §6.2, after Kipf et al.).
+
+NEURAL-LANTERN needs thousands of plan-diverse queries per database to build
+its training set.  The generator walks the schema's join graph, picks a
+connected set of relations, and attaches filters built from *actual column
+values sampled from the data* (so that selectivities — and therefore plan
+shapes — are realistic), plus random aggregation, grouping, ordering,
+DISTINCT, and LIMIT clauses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.sqlengine import Database, DataType
+from repro.sqlengine.types import render_literal
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One joinable column pair of the schema's join graph."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+
+@dataclass
+class GeneratedQuery:
+    """A generated SQL query plus the structural choices that produced it."""
+
+    sql: str
+    tables: list[str]
+    join_count: int
+    filter_count: int
+    has_aggregation: bool
+    has_group_by: bool
+    has_order_by: bool
+    has_limit: bool
+    distinct: bool
+
+
+class RandomQueryGenerator:
+    """Generates random (but valid and selective) queries for one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        join_graph: Sequence[tuple[str, str, str, str]],
+        seed: int = 0,
+        max_joins: int = 3,
+        max_filters: int = 3,
+    ) -> None:
+        self._database = database
+        self._edges = [JoinEdge(*edge) for edge in join_graph]
+        if not self._edges:
+            raise WorkloadError("the join graph must contain at least one edge")
+        self._rng = random.Random(seed)
+        self._max_joins = max_joins
+        self._max_filters = max_filters
+        self._aliases: dict[str, str] = {}
+        self._tables = sorted(
+            {edge.left_table for edge in self._edges} | {edge.right_table for edge in self._edges}
+        )
+        for table in self._tables:
+            alias = table[0]
+            suffix = 1
+            while alias in self._aliases.values():
+                suffix += 1
+                alias = table[0] + str(suffix)
+            self._aliases[table] = alias
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def generate(self, count: int) -> list[GeneratedQuery]:
+        """Generate ``count`` random queries."""
+        return [self.generate_one() for _ in range(count)]
+
+    def generate_one(self) -> GeneratedQuery:
+        tables, join_predicates = self._pick_relations()
+        filters = self._pick_filters(tables)
+        aggregates, group_columns = self._pick_aggregation(tables)
+        distinct = not aggregates and self._rng.random() < 0.15
+        order_by, limit = self._pick_order_and_limit(tables, aggregates, group_columns)
+        select_list = self._build_select_list(tables, aggregates, group_columns, distinct)
+
+        from_clause = ", ".join(f"{table} {self._aliases[table]}" for table in tables)
+        where_parts = join_predicates + filters
+        sql_parts = [f"SELECT {'DISTINCT ' if distinct else ''}{select_list}", f"FROM {from_clause}"]
+        if where_parts:
+            sql_parts.append("WHERE " + " AND ".join(where_parts))
+        if group_columns:
+            sql_parts.append("GROUP BY " + ", ".join(group_columns))
+        if order_by:
+            sql_parts.append("ORDER BY " + order_by)
+        if limit is not None:
+            sql_parts.append(f"LIMIT {limit}")
+        sql = "\n".join(sql_parts)
+        return GeneratedQuery(
+            sql=sql,
+            tables=list(tables),
+            join_count=len(join_predicates),
+            filter_count=len(filters),
+            has_aggregation=bool(aggregates),
+            has_group_by=bool(group_columns),
+            has_order_by=bool(order_by),
+            has_limit=limit is not None,
+            distinct=distinct,
+        )
+
+    # ------------------------------------------------------------------
+    # structural choices
+    # ------------------------------------------------------------------
+
+    def _pick_relations(self) -> tuple[list[str], list[str]]:
+        join_count = self._rng.randint(0, self._max_joins)
+        start = self._rng.choice(self._tables)
+        tables = [start]
+        predicates: list[str] = []
+        for _ in range(join_count):
+            candidates = [
+                edge
+                for edge in self._edges
+                if (edge.left_table in tables) != (edge.right_table in tables)
+            ]
+            if not candidates:
+                break
+            edge = self._rng.choice(candidates)
+            new_table = edge.right_table if edge.left_table in tables else edge.left_table
+            tables.append(new_table)
+            left = f"{self._aliases[edge.left_table]}.{edge.left_column}"
+            right = f"{self._aliases[edge.right_table]}.{edge.right_column}"
+            predicates.append(f"{left} = {right}")
+        return tables, predicates
+
+    def _pick_filters(self, tables: list[str]) -> list[str]:
+        filters: list[str] = []
+        filter_count = self._rng.randint(0, self._max_filters)
+        for _ in range(filter_count):
+            table = self._rng.choice(tables)
+            schema = self._database.catalog.table(table)
+            column = self._rng.choice(schema.columns)
+            values = [
+                value
+                for value in self._database.storage.table(table).column_values(column.name)
+                if value is not None
+            ]
+            if not values:
+                continue
+            value = self._rng.choice(values)
+            reference = f"{self._aliases[table]}.{column.name}"
+            if column.data_type in (DataType.INTEGER, DataType.FLOAT, DataType.DATE):
+                operator = self._rng.choice(["=", "<", "<=", ">", ">="])
+                filters.append(f"{reference} {operator} {render_literal(value)}")
+            else:
+                if self._rng.random() < 0.25 and isinstance(value, str) and len(value) > 3:
+                    prefix = value[: max(3, len(value) // 2)].replace("'", "''")
+                    filters.append(f"{reference} LIKE '{prefix}%'")
+                else:
+                    filters.append(f"{reference} = {render_literal(value)}")
+        return filters
+
+    def _pick_aggregation(self, tables: list[str]) -> tuple[list[str], list[str]]:
+        if self._rng.random() > 0.5:
+            return [], []
+        aggregates = ["count(*) AS row_count"]
+        numeric_columns = self._numeric_columns(tables)
+        if numeric_columns and self._rng.random() < 0.7:
+            function = self._rng.choice(["sum", "avg", "min", "max"])
+            column = self._rng.choice(numeric_columns)
+            aggregates.append(f"{function}({column}) AS agg_value")
+        group_columns: list[str] = []
+        if self._rng.random() < 0.7:
+            categorical = self._categorical_columns(tables)
+            if categorical:
+                group_columns = [self._rng.choice(categorical)]
+        return aggregates, group_columns
+
+    def _pick_order_and_limit(
+        self, tables: list[str], aggregates: list[str], group_columns: list[str]
+    ) -> tuple[Optional[str], Optional[int]]:
+        order_by: Optional[str] = None
+        if self._rng.random() < 0.45:
+            if aggregates:
+                order_by = "row_count DESC"
+            else:
+                columns = self._numeric_columns(tables) or self._categorical_columns(tables)
+                if columns:
+                    direction = self._rng.choice(["ASC", "DESC"])
+                    order_by = f"{self._rng.choice(columns)} {direction}"
+        limit = self._rng.choice([None, None, 10, 50, 100]) if order_by else None
+        return order_by, limit
+
+    def _build_select_list(
+        self,
+        tables: list[str],
+        aggregates: list[str],
+        group_columns: list[str],
+        distinct: bool,
+    ) -> str:
+        if aggregates:
+            return ", ".join(group_columns + aggregates)
+        columns: list[str] = []
+        column_budget = 1 if distinct else self._rng.randint(1, 3)
+        for _ in range(column_budget):
+            table = self._rng.choice(tables)
+            schema = self._database.catalog.table(table)
+            column = self._rng.choice(schema.columns)
+            reference = f"{self._aliases[table]}.{column.name}"
+            if reference not in columns:
+                columns.append(reference)
+        return ", ".join(columns) if columns else "*"
+
+    # ------------------------------------------------------------------
+    # schema helpers
+    # ------------------------------------------------------------------
+
+    def _numeric_columns(self, tables: list[str]) -> list[str]:
+        columns: list[str] = []
+        for table in tables:
+            schema = self._database.catalog.table(table)
+            for column in schema.columns:
+                if column.data_type in (DataType.INTEGER, DataType.FLOAT):
+                    columns.append(f"{self._aliases[table]}.{column.name}")
+        return columns
+
+    def _categorical_columns(self, tables: list[str]) -> list[str]:
+        columns: list[str] = []
+        for table in tables:
+            schema = self._database.catalog.table(table)
+            statistics = self._database.statistics(table)
+            for column in schema.columns:
+                column_statistics = statistics.column(column.name)
+                if column.data_type is DataType.TEXT and 0 < column_statistics.distinct_values <= 64:
+                    columns.append(f"{self._aliases[table]}.{column.name}")
+        return columns

@@ -1,0 +1,124 @@
+"""An IMDB-style schema and synthetic instance (the transfer/test domain).
+
+The paper trains NEURAL-LANTERN on TPC-H + SDSS and tests on IMDB to show
+portability across application domains; this module provides the IMDB-shaped
+database those test queries run against.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sqlengine import Database, DataType
+
+GENRES = ["Drama", "Comedy", "Action", "Thriller", "Documentary", "Horror", "Romance", "Sci-Fi"]
+COMPANY_COUNTRIES = ["us", "gb", "fr", "de", "jp", "in", "ca", "it"]
+ROLES = ["actor", "actress", "director", "producer", "writer", "composer"]
+INFO_TYPES = ["rating", "votes", "budget", "runtime", "language"]
+
+
+def build_imdb_database(title_count: int = 3000, seed: int = 23) -> Database:
+    """Create and populate an IMDB-shaped database."""
+    rng = random.Random(seed)
+    db = Database("imdb", enable_parallel=False)
+
+    db.create_table("title", [
+        ("id", DataType.INTEGER), ("title", DataType.TEXT),
+        ("production_year", DataType.INTEGER), ("kind", DataType.TEXT),
+        ("genre", DataType.TEXT),
+    ], primary_key=("id",))
+    db.create_table("name", [
+        ("id", DataType.INTEGER), ("name", DataType.TEXT), ("gender", DataType.TEXT),
+        ("birth_year", DataType.INTEGER),
+    ], primary_key=("id",))
+    db.create_table("cast_info", [
+        ("id", DataType.INTEGER), ("person_id", DataType.INTEGER),
+        ("movie_id", DataType.INTEGER), ("role", DataType.TEXT),
+    ])
+    db.create_table("company_name", [
+        ("id", DataType.INTEGER), ("name", DataType.TEXT), ("country_code", DataType.TEXT),
+    ], primary_key=("id",))
+    db.create_table("movie_companies", [
+        ("id", DataType.INTEGER), ("movie_id", DataType.INTEGER),
+        ("company_id", DataType.INTEGER), ("note", DataType.TEXT),
+    ])
+    db.create_table("movie_info", [
+        ("id", DataType.INTEGER), ("movie_id", DataType.INTEGER),
+        ("info_type", DataType.TEXT), ("info", DataType.FLOAT),
+    ])
+
+    person_count = title_count * 2
+    company_count = max(title_count // 10, 20)
+
+    db.insert("title", [
+        (
+            title_id,
+            f"Movie {title_id:05d}",
+            rng.randint(1950, 2020),
+            rng.choice(["movie", "movie", "movie", "tv series", "video"]),
+            rng.choice(GENRES),
+        )
+        for title_id in range(1, title_count + 1)
+    ])
+    db.insert("name", [
+        (
+            person_id,
+            f"Person {person_id:06d}",
+            rng.choice(["m", "f"]),
+            rng.randint(1920, 2000),
+        )
+        for person_id in range(1, person_count + 1)
+    ])
+    db.insert("cast_info", [
+        (
+            cast_id,
+            rng.randint(1, person_count),
+            rng.randint(1, title_count),
+            rng.choice(ROLES),
+        )
+        for cast_id in range(1, title_count * 4 + 1)
+    ])
+    db.insert("company_name", [
+        (
+            company_id,
+            f"Studio {company_id:04d}",
+            rng.choice(COMPANY_COUNTRIES),
+        )
+        for company_id in range(1, company_count + 1)
+    ])
+    db.insert("movie_companies", [
+        (
+            link_id,
+            rng.randint(1, title_count),
+            rng.randint(1, company_count),
+            rng.choice(["production", "distribution", "co-production"]),
+        )
+        for link_id in range(1, title_count * 2 + 1)
+    ])
+    db.insert("movie_info", [
+        (
+            info_id,
+            rng.randint(1, title_count),
+            rng.choice(INFO_TYPES),
+            round(rng.uniform(1.0, 10.0), 2),
+        )
+        for info_id in range(1, title_count * 3 + 1)
+    ])
+
+    db.create_index("idx_title_id", "title", ["id"])
+    db.create_index("idx_cast_info_movie", "cast_info", ["movie_id"])
+    db.create_index("idx_cast_info_person", "cast_info", ["person_id"])
+    db.create_index("idx_movie_companies_movie", "movie_companies", ["movie_id"])
+    db.create_index("idx_movie_info_movie", "movie_info", ["movie_id"])
+    db.analyze()
+    return db
+
+
+#: join edges of the IMDB schema used by the random query generator.
+IMDB_JOIN_GRAPH: list[tuple[str, str, str, str]] = [
+    ("cast_info", "movie_id", "title", "id"),
+    ("cast_info", "person_id", "name", "id"),
+    ("movie_companies", "movie_id", "title", "id"),
+    ("movie_companies", "company_id", "company_name", "id"),
+    ("movie_info", "movie_id", "title", "id"),
+]

@@ -1,0 +1,207 @@
+"""An SDSS (Sloan Digital Sky Survey) style workload.
+
+The paper uses 71 predefined SkyServer queries on SQL Server.  We reproduce
+the schema shape (photometric objects, spectroscopic objects, photo-z
+estimates, neighbours) with synthetic sky data, and a workload whose plans
+exercise the SQL Server operator vocabulary (table scans, index seeks, hash
+match joins and aggregates, sorts, TOP).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sqlengine import Database, DataType
+
+OBJECT_CLASSES = ["GALAXY", "STAR", "QSO", "UNKNOWN"]
+SURVEYS = ["legacy", "boss", "eboss", "segue1", "segue2"]
+
+
+@dataclass(frozen=True)
+class SdssQuery:
+    """One SkyServer-style workload query."""
+
+    number: int
+    title: str
+    sql: str
+
+    @property
+    def name(self) -> str:
+        return f"S{self.number}"
+
+
+def build_sdss_database(object_count: int = 4000, seed: int = 11) -> Database:
+    """Create and populate a synthetic SkyServer-like database."""
+    rng = random.Random(seed)
+    db = Database("sdss", enable_parallel=False)
+
+    db.create_table("photoobj", [
+        ("objid", DataType.INTEGER), ("ra", DataType.FLOAT), ("dec", DataType.FLOAT),
+        ("u", DataType.FLOAT), ("g", DataType.FLOAT), ("r", DataType.FLOAT),
+        ("i", DataType.FLOAT), ("z", DataType.FLOAT), ("type", DataType.TEXT),
+        ("clean", DataType.INTEGER),
+    ], primary_key=("objid",))
+    db.create_table("specobj", [
+        ("specobjid", DataType.INTEGER), ("bestobjid", DataType.INTEGER),
+        ("class", DataType.TEXT), ("redshift", DataType.FLOAT),
+        ("plate", DataType.INTEGER), ("mjd", DataType.INTEGER),
+        ("survey", DataType.TEXT),
+    ], primary_key=("specobjid",))
+    db.create_table("photoz", [
+        ("objid", DataType.INTEGER), ("photoz", DataType.FLOAT), ("photozerr", DataType.FLOAT),
+    ])
+    db.create_table("neighbors", [
+        ("objid", DataType.INTEGER), ("neighborobjid", DataType.INTEGER),
+        ("distance", DataType.FLOAT),
+    ])
+
+    photoobj_rows = []
+    for objid in range(1, object_count + 1):
+        magnitude = rng.uniform(14.0, 24.0)
+        photoobj_rows.append((
+            objid,
+            rng.uniform(0.0, 360.0),
+            rng.uniform(-90.0, 90.0),
+            magnitude + rng.uniform(0.0, 2.5),
+            magnitude + rng.uniform(-0.5, 1.5),
+            magnitude,
+            magnitude - rng.uniform(0.0, 0.8),
+            magnitude - rng.uniform(0.0, 1.2),
+            rng.choice(OBJECT_CLASSES),
+            rng.choice([0, 1, 1, 1]),
+        ))
+    db.insert("photoobj", photoobj_rows)
+
+    spec_count = object_count // 3
+    db.insert("specobj", [
+        (
+            spec_id,
+            rng.randint(1, object_count),
+            rng.choice(OBJECT_CLASSES[:3]),
+            round(rng.uniform(0.0, 3.5), 4),
+            rng.randint(266, 12000),
+            rng.randint(51600, 59000),
+            rng.choice(SURVEYS),
+        )
+        for spec_id in range(1, spec_count + 1)
+    ])
+    db.insert("photoz", [
+        (rng.randint(1, object_count), round(rng.uniform(0.0, 1.5), 4), round(rng.uniform(0.001, 0.3), 4))
+        for _ in range(object_count // 2)
+    ])
+    db.insert("neighbors", [
+        (rng.randint(1, object_count), rng.randint(1, object_count), round(rng.uniform(0.0, 0.5), 5))
+        for _ in range(object_count)
+    ])
+
+    db.create_index("idx_photoobj_objid", "photoobj", ["objid"])
+    db.create_index("idx_specobj_bestobjid", "specobj", ["bestobjid"])
+    db.create_index("idx_photoz_objid", "photoz", ["objid"])
+    db.analyze()
+    return db
+
+
+#: join edges of the SDSS schema used by the random query generator.
+SDSS_JOIN_GRAPH: list[tuple[str, str, str, str]] = [
+    ("specobj", "bestobjid", "photoobj", "objid"),
+    ("photoz", "objid", "photoobj", "objid"),
+    ("neighbors", "objid", "photoobj", "objid"),
+]
+
+
+def sdss_queries() -> list[SdssQuery]:
+    """A representative slice of the SkyServer workload (SQL Server dialect plans)."""
+    return [
+        SdssQuery(1, "bright galaxies", """
+            SELECT p.objid, p.ra, p.dec, p.r
+            FROM photoobj p
+            WHERE p.type = 'GALAXY' AND p.r < 17.5
+            ORDER BY p.r
+            LIMIT 100"""),
+        SdssQuery(2, "spectra of quasars", """
+            SELECT s.specobjid, s.redshift, p.ra, p.dec
+            FROM specobj s, photoobj p
+            WHERE s.bestobjid = p.objid AND s.class = 'QSO' AND s.redshift > 2.0
+            ORDER BY s.redshift DESC
+            LIMIT 50"""),
+        SdssQuery(3, "objects per class", """
+            SELECT p.type, count(*) AS n
+            FROM photoobj p
+            GROUP BY p.type
+            ORDER BY n DESC"""),
+        SdssQuery(4, "redshift histogram by class", """
+            SELECT s.class, count(*) AS n, avg(s.redshift) AS mean_z
+            FROM specobj s
+            WHERE s.redshift > 0.0
+            GROUP BY s.class
+            ORDER BY s.class"""),
+        SdssQuery(5, "photo-z calibration sample", """
+            SELECT p.objid, z.photoz, s.redshift
+            FROM photoobj p, photoz z, specobj s
+            WHERE p.objid = z.objid AND s.bestobjid = p.objid AND p.clean = 1
+            LIMIT 200"""),
+        SdssQuery(6, "colour selection of stars", """
+            SELECT p.objid, p.u, p.g, p.r
+            FROM photoobj p
+            WHERE p.type = 'STAR' AND p.u - p.g > 0.5 AND p.g - p.r < 1.2
+            LIMIT 500"""),
+        SdssQuery(7, "close neighbour pairs", """
+            SELECT n.objid, n.neighborobjid, n.distance
+            FROM neighbors n, photoobj p
+            WHERE n.objid = p.objid AND n.distance < 0.05 AND p.type = 'GALAXY'
+            ORDER BY n.distance
+            LIMIT 100"""),
+        SdssQuery(8, "survey coverage", """
+            SELECT s.survey, count(*) AS spectra
+            FROM specobj s
+            GROUP BY s.survey
+            ORDER BY spectra DESC"""),
+        SdssQuery(9, "bright object spectra per plate", """
+            SELECT s.plate, count(*) AS n
+            FROM specobj s, photoobj p
+            WHERE s.bestobjid = p.objid AND p.r < 18.0
+            GROUP BY s.plate
+            HAVING count(*) > 1
+            ORDER BY n DESC
+            LIMIT 30"""),
+        SdssQuery(10, "distinct classes observed", """
+            SELECT DISTINCT s.class
+            FROM specobj s, photoobj p
+            WHERE s.bestobjid = p.objid AND p.clean = 1"""),
+        SdssQuery(11, "mean colours per type", """
+            SELECT p.type, avg(p.u) AS mean_u, avg(p.g) AS mean_g, avg(p.r) AS mean_r
+            FROM photoobj p
+            WHERE p.clean = 1
+            GROUP BY p.type"""),
+        SdssQuery(12, "photo-z outliers", """
+            SELECT p.objid, z.photoz, z.photozerr
+            FROM photoobj p, photoz z
+            WHERE p.objid = z.objid AND z.photozerr > 0.25
+            ORDER BY z.photozerr DESC
+            LIMIT 100"""),
+        SdssQuery(13, "high redshift galaxies", """
+            SELECT s.specobjid, s.redshift
+            FROM specobj s
+            WHERE s.class = 'GALAXY' AND s.redshift BETWEEN 0.5 AND 1.5
+            ORDER BY s.redshift DESC
+            LIMIT 200"""),
+        SdssQuery(14, "neighbour counts", """
+            SELECT n.objid, count(*) AS neighbours
+            FROM neighbors n
+            GROUP BY n.objid
+            HAVING count(*) > 1
+            ORDER BY neighbours DESC
+            LIMIT 50"""),
+        SdssQuery(15, "faint clean objects", """
+            SELECT count(*) AS n
+            FROM photoobj p
+            WHERE p.clean = 1 AND p.r > 22.0"""),
+        SdssQuery(16, "plate and survey summary", """
+            SELECT s.survey, s.plate, count(*) AS n
+            FROM specobj s
+            WHERE s.mjd > 52000
+            GROUP BY s.survey, s.plate
+            ORDER BY n DESC
+            LIMIT 100"""),
+    ]

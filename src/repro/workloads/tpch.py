@@ -1,0 +1,420 @@
+"""A TPC-H-style workload: schema, synthetic data, and 22 analytical queries.
+
+The data generator is a scaled-down, deterministic stand-in for ``dbgen``:
+row counts follow the TPC-H ratios (per scale factor), column domains match
+the benchmark's value families (segments, ship modes, order priorities,
+dates in 1992–1998), and foreign keys are consistent so every join in the
+query set produces rows.
+
+The 22 queries keep each original query's *plan-relevant* structure (joined
+relations, filters, grouping, ordering, limits) while staying inside the SQL
+subset of the mini engine — subqueries and views are flattened.  What matters
+for LANTERN is the mix of physical operators they exercise, not the business
+semantics.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+
+from repro.sqlengine import Database, DataType
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+PART_TYPES = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+PART_MATERIALS = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG"]
+RETURN_FLAGS = ["R", "A", "N"]
+LINE_STATUSES = ["O", "F"]
+
+
+@dataclass(frozen=True)
+class TpchQuery:
+    """One workload query: its TPC-H number, a short title, and the SQL text."""
+
+    number: int
+    title: str
+    sql: str
+
+    @property
+    def name(self) -> str:
+        return f"Q{self.number}"
+
+
+def _date(rng: random.Random, start_year: int = 1992, end_year: int = 1998) -> str:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return datetime.date(year, month, day).isoformat()
+
+
+def build_tpch_database(scale: float = 0.01, seed: int = 42) -> Database:
+    """Create and populate a TPC-H-shaped database.
+
+    ``scale`` is the fraction of the official SF1 row counts (0.01 keeps the
+    benchmark laptop-friendly: 1 500 orders, ~6 000 lineitems).
+    """
+    rng = random.Random(seed)
+    db = Database("tpch", enable_parallel=False)
+
+    db.create_table("region", [
+        ("r_regionkey", DataType.INTEGER), ("r_name", DataType.TEXT), ("r_comment", DataType.TEXT),
+    ], primary_key=("r_regionkey",))
+    db.create_table("nation", [
+        ("n_nationkey", DataType.INTEGER), ("n_name", DataType.TEXT),
+        ("n_regionkey", DataType.INTEGER), ("n_comment", DataType.TEXT),
+    ], primary_key=("n_nationkey",))
+    db.create_table("supplier", [
+        ("s_suppkey", DataType.INTEGER), ("s_name", DataType.TEXT), ("s_address", DataType.TEXT),
+        ("s_nationkey", DataType.INTEGER), ("s_phone", DataType.TEXT), ("s_acctbal", DataType.FLOAT),
+    ], primary_key=("s_suppkey",))
+    db.create_table("customer", [
+        ("c_custkey", DataType.INTEGER), ("c_name", DataType.TEXT), ("c_address", DataType.TEXT),
+        ("c_nationkey", DataType.INTEGER), ("c_phone", DataType.TEXT),
+        ("c_acctbal", DataType.FLOAT), ("c_mktsegment", DataType.TEXT),
+    ], primary_key=("c_custkey",))
+    db.create_table("part", [
+        ("p_partkey", DataType.INTEGER), ("p_name", DataType.TEXT), ("p_mfgr", DataType.TEXT),
+        ("p_brand", DataType.TEXT), ("p_type", DataType.TEXT), ("p_size", DataType.INTEGER),
+        ("p_container", DataType.TEXT), ("p_retailprice", DataType.FLOAT),
+    ], primary_key=("p_partkey",))
+    db.create_table("partsupp", [
+        ("ps_partkey", DataType.INTEGER), ("ps_suppkey", DataType.INTEGER),
+        ("ps_availqty", DataType.INTEGER), ("ps_supplycost", DataType.FLOAT),
+    ])
+    db.create_table("orders", [
+        ("o_orderkey", DataType.INTEGER), ("o_custkey", DataType.INTEGER),
+        ("o_orderstatus", DataType.TEXT), ("o_totalprice", DataType.FLOAT),
+        ("o_orderdate", DataType.DATE), ("o_orderpriority", DataType.TEXT),
+        ("o_clerk", DataType.TEXT), ("o_shippriority", DataType.INTEGER),
+    ], primary_key=("o_orderkey",))
+    db.create_table("lineitem", [
+        ("l_orderkey", DataType.INTEGER), ("l_partkey", DataType.INTEGER),
+        ("l_suppkey", DataType.INTEGER), ("l_linenumber", DataType.INTEGER),
+        ("l_quantity", DataType.FLOAT), ("l_extendedprice", DataType.FLOAT),
+        ("l_discount", DataType.FLOAT), ("l_tax", DataType.FLOAT),
+        ("l_returnflag", DataType.TEXT), ("l_linestatus", DataType.TEXT),
+        ("l_shipdate", DataType.DATE), ("l_commitdate", DataType.DATE),
+        ("l_receiptdate", DataType.DATE), ("l_shipmode", DataType.TEXT),
+        ("l_shipinstruct", DataType.TEXT),
+    ])
+
+    supplier_count = max(int(10_000 * scale), 10)
+    customer_count = max(int(150_000 * scale), 50)
+    part_count = max(int(200_000 * scale), 50)
+    order_count = max(int(1_500_000 * scale), 150)
+
+    db.insert("region", [(key, name, f"region {name.lower()}") for key, name in enumerate(REGIONS)])
+    db.insert("nation", [
+        (key, name, region, f"nation {name.lower()}") for key, (name, region) in enumerate(NATIONS)
+    ])
+    db.insert("supplier", [
+        (
+            key,
+            f"Supplier#{key:09d}",
+            f"{rng.randint(1, 999)} Commerce Way",
+            rng.randrange(len(NATIONS)),
+            f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+            round(rng.uniform(-999.99, 9999.99), 2),
+        )
+        for key in range(1, supplier_count + 1)
+    ])
+    db.insert("customer", [
+        (
+            key,
+            f"Customer#{key:09d}",
+            f"{rng.randint(1, 999)} Market Street",
+            rng.randrange(len(NATIONS)),
+            f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+            round(rng.uniform(-999.99, 9999.99), 2),
+            rng.choice(MARKET_SEGMENTS),
+        )
+        for key in range(1, customer_count + 1)
+    ])
+    db.insert("part", [
+        (
+            key,
+            f"{rng.choice(PART_MATERIALS).lower()} {rng.choice(CONTAINERS).lower()} part {key}",
+            f"Manufacturer#{rng.randint(1, 5)}",
+            f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+            f"{rng.choice(PART_TYPES)} {rng.choice(['ANODIZED', 'BURNISHED', 'PLATED'])} {rng.choice(PART_MATERIALS)}",
+            rng.randint(1, 50),
+            rng.choice(CONTAINERS),
+            round(rng.uniform(900.0, 2000.0), 2),
+        )
+        for key in range(1, part_count + 1)
+    ])
+    partsupp_rows = []
+    for part_key in range(1, part_count + 1):
+        for _ in range(2):
+            partsupp_rows.append(
+                (
+                    part_key,
+                    rng.randint(1, supplier_count),
+                    rng.randint(1, 9999),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                )
+            )
+    db.insert("partsupp", partsupp_rows)
+
+    order_rows = []
+    lineitem_rows = []
+    for order_key in range(1, order_count + 1):
+        order_date = _date(rng, 1992, 1998)
+        line_count = rng.randint(1, 7)
+        total_price = 0.0
+        for line_number in range(1, line_count + 1):
+            quantity = rng.randint(1, 50)
+            extended_price = round(quantity * rng.uniform(900.0, 2000.0), 2)
+            total_price += extended_price
+            ship_date = _date(rng, 1992, 1998)
+            lineitem_rows.append(
+                (
+                    order_key,
+                    rng.randint(1, part_count),
+                    rng.randint(1, supplier_count),
+                    line_number,
+                    float(quantity),
+                    extended_price,
+                    round(rng.choice([0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1]), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    rng.choice(RETURN_FLAGS),
+                    rng.choice(LINE_STATUSES),
+                    ship_date,
+                    _date(rng, 1992, 1998),
+                    _date(rng, 1992, 1998),
+                    rng.choice(SHIP_MODES),
+                    rng.choice(SHIP_INSTRUCTIONS),
+                )
+            )
+        order_rows.append(
+            (
+                order_key,
+                rng.randint(1, customer_count),
+                rng.choice(["O", "F", "P"]),
+                round(total_price, 2),
+                order_date,
+                rng.choice(ORDER_PRIORITIES),
+                f"Clerk#{rng.randint(1, 1000):09d}",
+                0,
+            )
+        )
+    db.insert("orders", order_rows)
+    db.insert("lineitem", lineitem_rows)
+
+    db.create_index("idx_customer_custkey", "customer", ["c_custkey"])
+    db.create_index("idx_orders_orderkey", "orders", ["o_orderkey"])
+    db.create_index("idx_orders_custkey", "orders", ["o_custkey"])
+    db.create_index("idx_orders_orderdate", "orders", ["o_orderdate"])
+    db.create_index("idx_lineitem_orderkey", "lineitem", ["l_orderkey"])
+    db.create_index("idx_lineitem_partkey", "lineitem", ["l_partkey"])
+    db.create_index("idx_part_partkey", "part", ["p_partkey"])
+    db.create_index("idx_supplier_suppkey", "supplier", ["s_suppkey"])
+    db.analyze()
+    return db
+
+
+#: join edges of the TPC-H schema used by the random query generator.
+TPCH_JOIN_GRAPH: list[tuple[str, str, str, str]] = [
+    ("nation", "n_regionkey", "region", "r_regionkey"),
+    ("supplier", "s_nationkey", "nation", "n_nationkey"),
+    ("customer", "c_nationkey", "nation", "n_nationkey"),
+    ("orders", "o_custkey", "customer", "c_custkey"),
+    ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ("lineitem", "l_partkey", "part", "p_partkey"),
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ("partsupp", "ps_partkey", "part", "p_partkey"),
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+]
+
+
+def tpch_queries() -> list[TpchQuery]:
+    """The 22 TPC-H-style workload queries (flattened to the engine's SQL subset)."""
+    return [
+        TpchQuery(1, "pricing summary report", """
+            SELECT l.l_returnflag, l.l_linestatus, sum(l.l_quantity) AS sum_qty,
+                   sum(l.l_extendedprice) AS sum_base_price, avg(l.l_discount) AS avg_disc,
+                   count(*) AS count_order
+            FROM lineitem l
+            WHERE l.l_shipdate <= '1998-09-02'
+            GROUP BY l.l_returnflag, l.l_linestatus
+            ORDER BY l.l_returnflag, l.l_linestatus"""),
+        TpchQuery(2, "minimum cost supplier", """
+            SELECT s.s_acctbal, s.s_name, n.n_name, p.p_partkey, p.p_mfgr
+            FROM part p, supplier s, partsupp ps, nation n, region r
+            WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+              AND p.p_size = 15 AND s.s_nationkey = n.n_nationkey
+              AND n.n_regionkey = r.r_regionkey AND r.r_name = 'EUROPE'
+            ORDER BY s.s_acctbal DESC, n.n_name, s.s_name
+            LIMIT 100"""),
+        TpchQuery(3, "shipping priority", """
+            SELECT l.l_orderkey, sum(l.l_extendedprice) AS revenue, o.o_orderdate, o.o_shippriority
+            FROM customer c, orders o, lineitem l
+            WHERE c.c_mktsegment = 'BUILDING' AND c.c_custkey = o.o_custkey
+              AND l.l_orderkey = o.o_orderkey AND o.o_orderdate < '1995-03-15'
+              AND l.l_shipdate > '1995-03-15'
+            GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+            ORDER BY revenue DESC, o.o_orderdate
+            LIMIT 10"""),
+        TpchQuery(4, "order priority checking", """
+            SELECT o.o_orderpriority, count(*) AS order_count
+            FROM orders o, lineitem l
+            WHERE o.o_orderdate >= '1993-07-01' AND o.o_orderdate < '1993-10-01'
+              AND l.l_orderkey = o.o_orderkey AND l.l_commitdate < l.l_receiptdate
+            GROUP BY o.o_orderpriority
+            ORDER BY o.o_orderpriority"""),
+        TpchQuery(5, "local supplier volume", """
+            SELECT n.n_name, sum(l.l_extendedprice) AS revenue
+            FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+            WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+              AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey
+              AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+              AND r.r_name = 'ASIA' AND o.o_orderdate >= '1994-01-01'
+              AND o.o_orderdate < '1995-01-01'
+            GROUP BY n.n_name
+            ORDER BY revenue DESC"""),
+        TpchQuery(6, "forecasting revenue change", """
+            SELECT sum(l.l_extendedprice * l.l_discount) AS revenue
+            FROM lineitem l
+            WHERE l.l_shipdate >= '1994-01-01' AND l.l_shipdate < '1995-01-01'
+              AND l.l_discount BETWEEN 0.05 AND 0.07 AND l.l_quantity < 24"""),
+        TpchQuery(7, "volume shipping", """
+            SELECT n.n_name AS supp_nation, sum(l.l_extendedprice) AS revenue
+            FROM supplier s, lineitem l, orders o, customer c, nation n
+            WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+              AND c.c_custkey = o.o_custkey AND s.s_nationkey = n.n_nationkey
+              AND l.l_shipdate BETWEEN '1995-01-01' AND '1996-12-31'
+            GROUP BY n.n_name
+            ORDER BY revenue DESC"""),
+        TpchQuery(8, "national market share", """
+            SELECT o.o_orderdate, sum(l.l_extendedprice) AS volume
+            FROM part p, supplier s, lineitem l, orders o, customer c, nation n, region r
+            WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+              AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+              AND c.c_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+              AND r.r_name = 'AMERICA' AND o.o_orderdate BETWEEN '1995-01-01' AND '1996-12-31'
+              AND p.p_type LIKE '%ECONOMY%'
+            GROUP BY o.o_orderdate
+            ORDER BY o.o_orderdate"""),
+        TpchQuery(9, "product type profit measure", """
+            SELECT n.n_name AS nation, sum(l.l_extendedprice * l.l_discount) AS sum_profit
+            FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+            WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey
+              AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey
+              AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey
+              AND p.p_name LIKE '%green%'
+            GROUP BY n.n_name
+            ORDER BY nation"""),
+        TpchQuery(10, "returned item reporting", """
+            SELECT c.c_custkey, c.c_name, sum(l.l_extendedprice) AS revenue, c.c_acctbal, n.n_name
+            FROM customer c, orders o, lineitem l, nation n
+            WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+              AND o.o_orderdate >= '1993-10-01' AND o.o_orderdate < '1994-01-01'
+              AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey
+            GROUP BY c.c_custkey, c.c_name, c.c_acctbal, n.n_name
+            ORDER BY revenue DESC
+            LIMIT 20"""),
+        TpchQuery(11, "important stock identification", """
+            SELECT ps.ps_partkey, sum(ps.ps_supplycost * ps.ps_availqty) AS value
+            FROM partsupp ps, supplier s, nation n
+            WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey
+              AND n.n_name = 'GERMANY'
+            GROUP BY ps.ps_partkey
+            HAVING sum(ps.ps_supplycost * ps.ps_availqty) > 1000
+            ORDER BY value DESC
+            LIMIT 50"""),
+        TpchQuery(12, "shipping modes and order priority", """
+            SELECT l.l_shipmode, count(*) AS line_count
+            FROM orders o, lineitem l
+            WHERE o.o_orderkey = l.l_orderkey AND l.l_shipmode IN ('MAIL', 'SHIP')
+              AND l.l_commitdate < l.l_receiptdate AND l.l_shipdate < l.l_commitdate
+              AND l.l_receiptdate >= '1994-01-01' AND l.l_receiptdate < '1995-01-01'
+            GROUP BY l.l_shipmode
+            ORDER BY l.l_shipmode"""),
+        TpchQuery(13, "customer distribution", """
+            SELECT c.c_custkey, count(*) AS c_count
+            FROM customer c, orders o
+            WHERE c.c_custkey = o.o_custkey AND o.o_clerk NOT LIKE '%special%requests%'
+            GROUP BY c.c_custkey
+            ORDER BY c_count DESC
+            LIMIT 100"""),
+        TpchQuery(14, "promotion effect", """
+            SELECT sum(l.l_extendedprice * l.l_discount) AS promo_revenue
+            FROM lineitem l, part p
+            WHERE l.l_partkey = p.p_partkey AND l.l_shipdate >= '1995-09-01'
+              AND l.l_shipdate < '1995-10-01' AND p.p_type LIKE 'PROMO%'"""),
+        TpchQuery(15, "top supplier", """
+            SELECT l.l_suppkey, sum(l.l_extendedprice) AS total_revenue
+            FROM lineitem l
+            WHERE l.l_shipdate >= '1996-01-01' AND l.l_shipdate < '1996-04-01'
+            GROUP BY l.l_suppkey
+            ORDER BY total_revenue DESC
+            LIMIT 1"""),
+        TpchQuery(16, "parts/supplier relationship", """
+            SELECT p.p_brand, p.p_type, p.p_size, count(DISTINCT ps.ps_suppkey) AS supplier_cnt
+            FROM partsupp ps, part p
+            WHERE p.p_partkey = ps.ps_partkey AND p.p_brand <> 'Brand#45'
+              AND p.p_size IN (9, 14, 19, 23, 36, 45, 49, 3)
+            GROUP BY p.p_brand, p.p_type, p.p_size
+            ORDER BY supplier_cnt DESC, p.p_brand
+            LIMIT 40"""),
+        TpchQuery(17, "small-quantity-order revenue", """
+            SELECT avg(l.l_extendedprice) AS avg_yearly
+            FROM lineitem l, part p
+            WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#23'
+              AND p.p_container = 'MED BOX' AND l.l_quantity < 10"""),
+        TpchQuery(18, "large volume customer", """
+            SELECT c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice,
+                   sum(l.l_quantity) AS total_quantity
+            FROM customer c, orders o, lineitem l
+            WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+              AND o.o_totalprice > 100000
+            GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice
+            HAVING sum(l.l_quantity) > 100
+            ORDER BY o.o_totalprice DESC, o.o_orderdate
+            LIMIT 100"""),
+        TpchQuery(19, "discounted revenue", """
+            SELECT sum(l.l_extendedprice) AS revenue
+            FROM lineitem l, part p
+            WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#12'
+              AND l.l_quantity BETWEEN 1 AND 11 AND p.p_size BETWEEN 1 AND 5
+              AND l.l_shipmode IN ('AIR', 'REG AIR')
+              AND l.l_shipinstruct = 'DELIVER IN PERSON'"""),
+        TpchQuery(20, "potential part promotion", """
+            SELECT s.s_name, s.s_address
+            FROM supplier s, nation n, partsupp ps, part p
+            WHERE s.s_nationkey = n.n_nationkey AND n.n_name = 'CANADA'
+              AND ps.ps_suppkey = s.s_suppkey AND p.p_partkey = ps.ps_partkey
+              AND p.p_name LIKE 'forest%' AND ps.ps_availqty > 100
+            ORDER BY s.s_name
+            LIMIT 50"""),
+        TpchQuery(21, "suppliers who kept orders waiting", """
+            SELECT s.s_name, count(*) AS numwait
+            FROM supplier s, lineitem l, orders o, nation n
+            WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+              AND o.o_orderstatus = 'F' AND l.l_receiptdate > l.l_commitdate
+              AND s.s_nationkey = n.n_nationkey AND n.n_name = 'SAUDI ARABIA'
+            GROUP BY s.s_name
+            ORDER BY numwait DESC, s.s_name
+            LIMIT 100"""),
+        TpchQuery(22, "global sales opportunity", """
+            SELECT c.c_mktsegment, count(*) AS numcust, sum(c.c_acctbal) AS totacctbal
+            FROM customer c
+            WHERE c.c_acctbal > 0.0
+            GROUP BY c.c_mktsegment
+            HAVING count(*) > 1
+            ORDER BY c.c_mktsegment"""),
+    ]

@@ -1,0 +1,105 @@
+"""Shared fixtures: small workload databases, the POEM store, and a trained tiny model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Lantern
+from repro.pool import build_default_store
+from repro.sqlengine import Database, DataType
+from repro.workloads import (
+    build_dblp_database,
+    build_imdb_database,
+    build_sdss_database,
+    build_tpch_database,
+)
+
+
+@pytest.fixture(scope="session")
+def tpch_db() -> Database:
+    return build_tpch_database(scale=0.001, seed=1)
+
+
+@pytest.fixture(scope="session")
+def sdss_db() -> Database:
+    return build_sdss_database(object_count=800, seed=2)
+
+
+@pytest.fixture(scope="session")
+def imdb_db() -> Database:
+    return build_imdb_database(title_count=600, seed=3)
+
+
+@pytest.fixture(scope="session")
+def dblp_db() -> Database:
+    return build_dblp_database(publication_count=400, seed=4)
+
+
+@pytest.fixture(scope="session")
+def poem_store():
+    return build_default_store()
+
+
+@pytest.fixture(scope="session")
+def lantern(poem_store) -> Lantern:
+    return Lantern(store=poem_store)
+
+
+@pytest.fixture()
+def toy_db() -> Database:
+    """A tiny two-table database with known contents for exact-result tests."""
+    db = Database("toy", enable_parallel=False)
+    db.create_table(
+        "users",
+        [("id", DataType.INTEGER), ("name", DataType.TEXT), ("age", DataType.INTEGER),
+         ("city", DataType.TEXT)],
+        primary_key=("id",),
+    )
+    db.create_table(
+        "orders",
+        [("order_id", DataType.INTEGER), ("user_id", DataType.INTEGER),
+         ("amount", DataType.FLOAT), ("status", DataType.TEXT)],
+        primary_key=("order_id",),
+    )
+    db.insert("users", [
+        (1, "alice", 34, "london"),
+        (2, "bob", 28, "paris"),
+        (3, "carol", 41, "london"),
+        (4, "dave", 19, "berlin"),
+        (5, "erin", 55, "paris"),
+    ])
+    db.insert("orders", [
+        (10, 1, 120.0, "shipped"),
+        (11, 1, 75.5, "pending"),
+        (12, 2, 19.99, "shipped"),
+        (13, 3, 250.0, "cancelled"),
+        (14, 3, 30.0, "shipped"),
+        (15, 5, 60.0, "shipped"),
+        (16, 5, 45.0, "pending"),
+    ])
+    db.create_index("idx_users_id", "users", ["id"])
+    db.create_index("idx_orders_user", "orders", ["user_id"])
+    db.analyze()
+    return db
+
+
+@pytest.fixture(scope="session")
+def trained_neural():
+    """A tiny but genuinely trained NEURAL-LANTERN used by integration tests."""
+    from repro.nlg.dataset import build_dataset
+    from repro.nlg.neural_lantern import NeuralLantern
+    from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
+    from repro.nlg.training import Trainer
+    from repro.workloads.dblp import DBLP_JOIN_GRAPH
+    from repro.workloads.generator import RandomQueryGenerator
+
+    db = build_dblp_database(publication_count=300, seed=9)
+    generator = RandomQueryGenerator(db, DBLP_JOIN_GRAPH, seed=9)
+    queries = [generated.sql for generated in generator.generate(25)]
+    dataset = build_dataset([(db, queries, "postgresql", "dblp")], seed=9)
+    config = Seq2SeqConfig(hidden_dim=48, attention_dim=24, learning_rate=0.005, batch_size=8, seed=9)
+    model = QEP2Seq(dataset.input_vocabulary, dataset.output_vocabulary, config)
+    Trainer(model, dataset.train_samples[:220], dataset.validation_samples[:40], seed=9).train(
+        epochs=10, early_stopping_threshold=None
+    )
+    return NeuralLantern(model, dataset=dataset, beam_size=2)

@@ -1,0 +1,199 @@
+"""Tests for the NEURON baseline and the learner-study simulation."""
+
+import pytest
+
+from repro.baselines import Neuron
+from repro.errors import NarrationError
+from repro.plans import parse_sqlserver_xml, plan_from_database
+from repro.study import HabituationModel, LearnerPopulation, boredom_likert
+from repro.study.boredom import text_similarity
+from repro.study.experiments import (
+    StudyMaterials,
+    boredom_study,
+    error_impact_study,
+    format_preference_survey,
+    lantern_vs_neuron_study,
+    mixed_output_marking,
+    presentation_study,
+    q1_ease_of_understanding,
+    q2_description_quality,
+    q3_preferred_format,
+)
+from repro.study.learner import LearnerProfile, SimulatedLearner
+from repro.study.surveys import LikertDistribution, PreferenceShares, format_likert_table
+
+JOIN_SQL = (
+    "SELECT i.venue, count(*) AS n FROM inproceedings i, publication p "
+    "WHERE i.paper_key = p.pub_key GROUP BY i.venue ORDER BY n DESC LIMIT 5"
+)
+
+
+class TestNeuron:
+    def test_narrates_postgres_plan(self, dblp_db):
+        tree = plan_from_database(dblp_db, JOIN_SQL)
+        narration = Neuron().narrate(tree)
+        assert narration.generator == "neuron"
+        assert narration.steps[-1].text.endswith("to get the final results.")
+        assert "hash" in narration.text or "join" in narration.text
+
+    def test_fails_on_sqlserver_operator_names(self, dblp_db):
+        tree = parse_sqlserver_xml(dblp_db.explain(JOIN_SQL, output_format="xml"))
+        neuron = Neuron()
+        assert not neuron.supports(tree)
+        with pytest.raises(NarrationError):
+            neuron.narrate(tree)
+        assert neuron.try_narrate(tree) is None
+
+    def test_output_is_fixed_wording(self, dblp_db):
+        tree = plan_from_database(dblp_db, JOIN_SQL)
+        neuron = Neuron()
+        assert neuron.narrate(tree).text == neuron.narrate(tree).text
+
+    def test_lantern_covers_sqlserver_where_neuron_fails(self, dblp_db, lantern):
+        tree = parse_sqlserver_xml(dblp_db.explain(JOIN_SQL, output_format="xml"))
+        assert Neuron().try_narrate(tree) is None
+        narration = lantern.describe_plan(tree)
+        assert narration.steps
+
+
+class TestHabituation:
+    def test_similarity_bounds(self):
+        assert text_similarity("a b c", "a b c") == 1.0
+        assert text_similarity("a b c", "x y z") == 0.0
+
+    def test_repetition_increases_state_and_novelty_recovers(self):
+        model = HabituationModel(boredom_proneness=0.8)
+        repetitive = "perform hash join on orders and customer to get the intermediate relation T1."
+        for _ in range(15):
+            model.expose(repetitive)
+        bored_state = model.state
+        assert bored_state > 0.4
+        model.expose("a completely different sentence about galaxies and telescopes")
+        assert model.state < bored_state
+
+    def test_boredom_likert_monotone(self):
+        values = [boredom_likert(state) for state in (0.0, 0.5, 1.5, 2.5, 5.0)]
+        assert values == sorted(values)
+        assert values[0] == 1 and values[-1] == 5
+
+    def test_varied_text_produces_less_boredom_than_repetitive(self):
+        repetitive = ["perform sequential scan on orders to get T1."] * 30
+        varied = [f"step {i}: read table number {i} using strategy {i % 7}" for i in range(30)]
+        bored = HabituationModel(boredom_proneness=0.7)
+        fresh = HabituationModel(boredom_proneness=0.7)
+        assert bored.expose_all(repetitive) > fresh.expose_all(varied)
+
+
+class TestLearnerAndSurveys:
+    def test_population_is_reproducible(self):
+        first = LearnerPopulation(10, seed=5)
+        second = LearnerPopulation(10, seed=5)
+        assert [l.profile for l in first] == [l.profile for l in second]
+        assert len(first) == 10
+
+    def test_learner_prefers_nl_over_json(self):
+        learner = SimulatedLearner(LearnerProfile.sample(__import__("random").Random(1)), seed=2)
+        nl_ratings = [learner.rate_ease("nl-rule") for _ in range(20)]
+        json_ratings = [learner.rate_ease("json", size_tokens=3000) for _ in range(20)]
+        assert sum(nl_ratings) > sum(json_ratings)
+
+    def test_quality_rating_penalizes_errors(self):
+        learner = SimulatedLearner(LearnerProfile.sample(__import__("random").Random(3)), seed=4)
+        clean = sum(learner.rate_description_quality(0.0) for _ in range(20))
+        noisy = sum(learner.rate_description_quality(0.4) for _ in range(20))
+        assert clean > noisy
+
+    def test_likert_distribution_accounting(self):
+        distribution = LikertDistribution()
+        distribution.extend([1, 3, 4, 5, 5])
+        assert distribution.total == 5
+        assert distribution.fraction_above(3) == pytest.approx(3 / 5)
+        assert distribution.as_row() == [1, 0, 1, 1, 2]
+        with pytest.raises(ValueError):
+            distribution.add(6)
+
+    def test_preference_shares(self):
+        shares = PreferenceShares()
+        for choice in ["a", "a", "b"]:
+            shares.add(choice)
+        assert shares.share("a") == pytest.approx(2 / 3)
+        assert shares.ranking()[0][0] == "a"
+
+    def test_format_likert_table_renders(self):
+        table = format_likert_table({"nl-rule": LikertDistribution()})
+        assert "RULE-LANTERN" in table
+
+
+class TestExperimentDrivers:
+    @pytest.fixture(scope="class")
+    def materials(self, dblp_db, lantern):
+        from repro.plans.visual import render_visual_tree
+
+        queries = [
+            JOIN_SQL,
+            "SELECT count(*) FROM publication p WHERE p.year > 2010",
+            "SELECT p.title FROM publication p ORDER BY p.year DESC LIMIT 10",
+        ]
+        narrations, trees, json_documents = [], [], []
+        for sql in queries:
+            tree = lantern.plan_for_sql(dblp_db, sql)
+            trees.append(render_visual_tree(tree))
+            json_documents.append(dblp_db.explain(sql, output_format="json"))
+            narrations.append(lantern.describe_plan(tree))
+        return StudyMaterials(
+            json_documents=json_documents,
+            visual_trees=trees,
+            rule_narrations=narrations,
+            neural_texts=[n.text for n in narrations],
+        )
+
+    def test_figure3_shape_nl_most_preferred(self, materials):
+        shares = format_preference_survey(materials, LearnerPopulation(62, seed=11))
+        assert shares.total == 62
+        assert shares.share("nl") > shares.share("visual-tree") > shares.share("json") - 1e-9
+
+    def test_q1_nl_easier_than_json(self, materials):
+        results = q1_ease_of_understanding(materials, LearnerPopulation(43, seed=12))
+        assert results["nl-rule"].fraction_above(3) > results["json"].fraction_above(3)
+        assert results["visual-tree"].fraction_above(3) >= results["json"].fraction_above(3)
+        assert all(distribution.total == 43 for distribution in results.values())
+
+    def test_q2_rule_slightly_better_than_neural(self):
+        results = q2_description_quality(
+            LearnerPopulation(43, seed=13), {"nl-rule": 0.0, "nl-neural": 0.05}
+        )
+        assert results["nl-rule"].fraction_above(3) >= results["nl-neural"].fraction_above(3) - 0.1
+
+    def test_q3_nl_formats_lead(self, materials):
+        shares = q3_preferred_format(materials, LearnerPopulation(43, seed=14))
+        ranking = dict(shares.ranking())
+        assert ranking.get("json", 0.0) < max(ranking.get("nl-rule", 0), ranking.get("nl-neural", 0))
+
+    def test_boredom_rule_worse_than_neural(self, materials):
+        rule_texts = [step.text for narration in materials.rule_narrations for step in narration.steps] * 8
+        varied_texts = [f"{text} (variant {i % 5})" for i, text in enumerate(rule_texts)]
+        results = boredom_study({"rule": rule_texts, "neural": varied_texts}, LearnerPopulation(20, seed=15))
+        assert results["rule"].mean() >= results["neural"].mean()
+
+    def test_mixed_marking_counts_per_label(self):
+        labelled = [("rule", f"perform sequential scan on orders to get T{i % 2}.") for i in range(20)]
+        labelled += [("neural", f"read table {i} in an unusual way number {i}") for i in range(10)]
+        marks = mixed_output_marking(labelled, LearnerPopulation(10, seed=16))
+        assert marks["rule"]["total"] == 20 and marks["neural"]["total"] == 10
+        assert marks["rule"]["marked"] >= marks["neural"]["marked"]
+
+    def test_error_impact_minority_finds_problematic(self):
+        population = LearnerPopulation(43, seed=17)
+        problematic = error_impact_study(population, [(1, 25), (0, 25), (1, 30), (2, 28)])
+        assert 0 <= problematic <= len(population)
+        assert problematic < len(population) / 2
+
+    def test_lantern_vs_neuron_gap(self):
+        results = lantern_vs_neuron_study(
+            LearnerPopulation(43, seed=18), lantern_success_rate=1.0, neuron_success_rate=0.5
+        )
+        assert results["lantern"].fraction_above(3) > results["neuron"].fraction_above(3)
+
+    def test_presentation_document_majority(self):
+        shares = presentation_study(LearnerPopulation(43, seed=19))
+        assert shares.share("document") > shares.share("annotated-tree")

@@ -1,0 +1,234 @@
+"""Tests for the LANTERN core: tags, LOT, clustering, RULE-LANTERN, acts, presentation, facade."""
+
+import pytest
+
+from repro.core import Lantern, decompose_into_acts
+from repro.core.acts import align_acts_with_narration, decompose_lot_into_acts
+from repro.core.clustering import cluster, pair_for_critical
+from repro.core.lot import build_lot
+from repro.core.narration import NARRATION_LAYERS
+from repro.core.presentation import render, render_annotated_tree, render_document
+from repro.core.rule_lantern import RuleLantern
+from repro.core.tags import SPECIAL_TAGS, abstract_step_text, contains_tags, restore_step_text
+from repro.errors import NarrationError
+from repro.plans import plan_from_database, parse_sqlserver_xml
+
+DBLP_EXAMPLE = (
+    "SELECT DISTINCT i.proceeding_key FROM inproceedings i, publication p "
+    "WHERE i.paper_key = p.pub_key AND p.title LIKE '%July%' "
+    "GROUP BY i.proceeding_key HAVING count(*) > 2"
+)
+
+
+class TestTags:
+    def test_tag_table_matches_paper(self):
+        assert set(SPECIAL_TAGS) == {"<I>", "<F>", "<C>", "<T>", "<TN>", "<A>", "<G>"}
+
+    def test_abstract_and_restore_roundtrip(self):
+        text = (
+            "perform sequential scan on publication and filtering on (p.title like '%July%') "
+            "to get the intermediate relation T1."
+        )
+        abstracted, mapping = abstract_step_text(
+            text, relations=["publication"], filter_condition="(p.title like '%July%')"
+        )
+        assert "<T>" in abstracted and "<F>" in abstracted and "<TN>" in abstracted
+        assert "publication" not in abstracted
+        assert restore_step_text(abstracted, mapping) == text
+
+    def test_longer_fragments_replaced_first(self):
+        text = "perform hash join on orders and customer on condition (orders.o_custkey = customer.c_custkey)"
+        abstracted, _ = abstract_step_text(
+            text,
+            relations=["orders", "customer"],
+            join_condition="(orders.o_custkey = customer.c_custkey)",
+        )
+        assert abstracted.count("<T>") == 2
+        assert "<C>" in abstracted
+
+    def test_contains_tags(self):
+        assert contains_tags("perform scan on <T>")
+        assert not contains_tags("perform scan on users")
+
+    def test_restore_reuses_last_value_when_decoder_repeats_tag(self):
+        abstracted, mapping = abstract_step_text("sort T1.", relations=["T1"])
+        assert restore_step_text("sort <T> and <T>.", mapping) == "sort T1 and T1."
+
+
+class TestLotAndClustering:
+    def test_lot_annotates_every_node(self, dblp_db, poem_store):
+        tree = plan_from_database(dblp_db, DBLP_EXAMPLE)
+        lot = build_lot(tree, poem_store, "pg")
+        assert lot.node_count() == tree.node_count()
+        for node in lot.walk():
+            assert node.label
+            assert node.name
+
+    def test_unknown_operator_strict_mode(self, dblp_db, poem_store):
+        tree = plan_from_database(dblp_db, "SELECT paper_key FROM inproceedings i")
+        tree.root.name = "Quantum Scan"
+        with pytest.raises(NarrationError):
+            build_lot(tree, poem_store, "pg", strict=True)
+        lenient = build_lot(tree, poem_store, "pg", strict=False)
+        assert "Quantum Scan" in lenient.root.label or "Quantum Scan" in lenient.root.name
+
+    def test_cluster_finds_hash_pair(self, dblp_db, poem_store):
+        tree = plan_from_database(dblp_db, DBLP_EXAMPLE)
+        lot = build_lot(tree, poem_store, "pg")
+        pairs = cluster(lot)
+        names = {(pair.auxiliary.operator_name, pair.critical.operator_name) for pair in pairs}
+        assert ("Hash", "Hash Join") in names
+
+    def test_clustered_aux_marked(self, dblp_db, poem_store):
+        tree = plan_from_database(dblp_db, DBLP_EXAMPLE)
+        lot = build_lot(tree, poem_store, "pg")
+        pairs = cluster(lot)
+        assert all(pair.auxiliary.is_auxiliary_member for pair in pairs)
+        critical = pairs[0].critical
+        assert pair_for_critical(pairs, critical) is pairs[0]
+
+
+class TestRuleLantern:
+    @pytest.fixture()
+    def narration(self, dblp_db, poem_store):
+        narrator = RuleLantern(poem_store, poem_source="pg", seed=None)
+        tree = plan_from_database(dblp_db, DBLP_EXAMPLE)
+        return narrator.narrate(tree), tree
+
+    def test_step_per_non_auxiliary_node(self, narration):
+        result, tree = narration
+        auxiliary = sum(1 for name in tree.operator_names() if name in ("Hash", "Sort", "Materialize"))
+        assert len(result.steps) == tree.node_count() - auxiliary
+
+    def test_final_step_marks_final_results(self, narration):
+        result, _ = narration
+        assert result.steps[-1].is_final
+        assert result.steps[-1].text.endswith("to get the final results.")
+        assert all(not step.is_final for step in result.steps[:-1])
+
+    def test_intermediate_identifiers_are_sequential_and_referenced(self, narration):
+        result, _ = narration
+        identifiers = [step.intermediate for step in result.steps if step.intermediate]
+        assert identifiers == [f"T{i}" for i in range(1, len(identifiers) + 1)]
+        # later steps must reference earlier intermediates
+        assert any("T1" in step.text for step in result.steps[1:])
+
+    def test_hash_join_step_composes_hash(self, narration):
+        result, _ = narration
+        join_step = next(step for step in result.steps if "hash join" in step.text)
+        assert join_step.text.startswith("hash ")
+        assert "on condition" in join_step.text
+        assert join_step.join_condition
+
+    def test_filter_appears_in_scan_step(self, narration):
+        result, _ = narration
+        scan_step = next(step for step in result.steps if "publication" in step.relations)
+        assert "filtering on" in scan_step.text
+        assert "July" in scan_step.text
+
+    def test_unfiltered_scan_has_no_identifier(self, narration):
+        result, _ = narration
+        scan_step = next(step for step in result.steps if "inproceedings" in step.relations)
+        assert scan_step.intermediate is None
+
+    def test_having_filter_on_aggregate_step(self, narration):
+        result, _ = narration
+        aggregate_step = next(step for step in result.steps if step.group_keys)
+        assert "grouping" in aggregate_step.text
+        assert "count" in aggregate_step.text.lower()
+
+    def test_describe_operator_definition(self, poem_store):
+        narrator = RuleLantern(poem_store, "pg")
+        text = narrator.describe_operator("Hash Join")
+        assert "hash" in text.lower() and ":" in text
+        with pytest.raises(NarrationError):
+            narrator.describe_operator("Quantum Scan")
+
+    def test_deterministic_with_seed(self, dblp_db, poem_store):
+        tree = plan_from_database(dblp_db, DBLP_EXAMPLE)
+        first = RuleLantern(poem_store, "pg", seed=3).narrate(tree).text
+        second = RuleLantern(poem_store, "pg", seed=3).narrate(tree).text
+        assert first == second
+
+    def test_sqlserver_plans_narrated_via_mssql_catalog(self, sdss_db, poem_store):
+        sql = "SELECT s.class, count(*) AS n FROM specobj s GROUP BY s.class"
+        tree = parse_sqlserver_xml(sdss_db.explain(sql, output_format="xml"))
+        narration = RuleLantern(poem_store, poem_source="mssql").narrate(tree)
+        assert "table scan" in narration.text or "aggregate" in narration.text
+        assert narration.steps[-1].is_final
+
+
+class TestActs:
+    def test_act_count_matches_steps(self, dblp_db, poem_store, lantern):
+        tree = plan_from_database(dblp_db, DBLP_EXAMPLE)
+        narration = lantern.describe_plan(tree)
+        acts = decompose_into_acts(tree, poem_store, "pg")
+        assert len(acts) == len(narration.steps)
+
+    def test_cluster_act_contains_both_operators(self, dblp_db, poem_store):
+        tree = plan_from_database(dblp_db, DBLP_EXAMPLE)
+        acts = decompose_into_acts(tree, poem_store, "pg")
+        join_act = next(act for act in acts if "hashjoin" in [o.lower().replace(" ", "") for o in act.operators])
+        assert len(join_act.operators) == 2
+
+    def test_input_tokens_are_tags_and_operators(self, dblp_db, poem_store):
+        tree = plan_from_database(dblp_db, DBLP_EXAMPLE)
+        acts = decompose_into_acts(tree, poem_store, "pg")
+        for act in acts:
+            tokens = act.input_tokens()
+            assert tokens[0].isalnum()
+            assert "<T>" in tokens
+
+    def test_align_acts_with_narration(self, dblp_db, poem_store, lantern):
+        tree = plan_from_database(dblp_db, DBLP_EXAMPLE)
+        narration = lantern.describe_plan(tree)
+        acts = align_acts_with_narration(decompose_lot_into_acts(narration.lot), narration)
+        assert all(act.step is not None for act in acts)
+
+
+class TestPresentationAndFacade:
+    def test_document_rendering_numbers_steps(self, dblp_db, lantern):
+        narration = lantern.describe_sql(dblp_db, DBLP_EXAMPLE)
+        document = render_document(narration)
+        assert document.count("Step ") == len(narration.steps)
+
+    def test_annotated_tree_rendering(self, dblp_db, lantern):
+        tree = lantern.plan_for_sql(dblp_db, DBLP_EXAMPLE)
+        narration = lantern.describe_plan(tree)
+        rendering = render_annotated_tree(tree, narration)
+        assert "~" in rendering and "Hash Join" in rendering
+
+    def test_render_unknown_mode_raises(self, dblp_db, lantern):
+        narration = lantern.describe_sql(dblp_db, DBLP_EXAMPLE)
+        with pytest.raises(ValueError):
+            render(narration, mode="hologram")
+
+    def test_narration_layers_documented(self):
+        assert set(NARRATION_LAYERS) == {"factual", "intentional", "structural", "presentation"}
+
+    def test_facade_tracks_operator_exposure(self, dblp_db, poem_store):
+        facade = Lantern(store=poem_store)
+        facade.describe_sql(dblp_db, "SELECT count(*) FROM publication p")
+        facade.describe_sql(dblp_db, "SELECT count(*) FROM publication p WHERE p.year > 2010")
+        assert facade.operator_exposure("Seq Scan") >= 2
+        facade.reset_session()
+        assert facade.operator_exposure("Seq Scan") == 0
+
+    def test_facade_engine_selection(self, dblp_db, lantern):
+        pg_narration = lantern.describe_sql(dblp_db, "SELECT count(*) FROM publication p", engine="postgresql")
+        mssql_narration = lantern.describe_sql(dblp_db, "SELECT count(*) FROM publication p", engine="sqlserver")
+        assert pg_narration.source == "postgresql"
+        assert mssql_narration.source == "sqlserver"
+        assert pg_narration.text != mssql_narration.text
+
+    def test_facade_rejects_unknown_engine(self, dblp_db, lantern):
+        with pytest.raises(NarrationError):
+            lantern.plan_for_sql(dblp_db, "SELECT count(*) FROM publication p", engine="oracle")
+
+    def test_parse_plan_formats(self, dblp_db, lantern):
+        json_text = dblp_db.explain("SELECT count(*) FROM publication p", output_format="json")
+        xml_text = dblp_db.explain("SELECT count(*) FROM publication p", output_format="xml")
+        assert lantern.parse_plan(json_text, "postgres-json").source == "postgresql"
+        assert lantern.parse_plan(xml_text, "sqlserver-xml").source == "sqlserver"
+        with pytest.raises(NarrationError):
+            lantern.parse_plan(json_text, "yaml")

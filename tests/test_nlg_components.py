@@ -1,0 +1,220 @@
+"""Tests for tokenizer, vocabulary, metrics, paraphrasing, and embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelConfigError, VocabularyError
+from repro.nlg.embeddings import EMBEDDING_DIMENSIONS, build_embedding_matrix
+from repro.nlg.embeddings.corpus import build_general_corpus, build_self_trained_corpus
+from repro.nlg.embeddings.glove import cooccurrence_counts, train_glove
+from repro.nlg.embeddings.word2vec import build_training_vocabulary, skipgram_pairs, train_word2vec
+from repro.nlg.metrics import (
+    average_group_self_bleu,
+    bleu_score,
+    self_bleu,
+    sparse_categorical_accuracy,
+    token_error_count,
+)
+from repro.nlg.paraphrase import (
+    CompressionParaphraser,
+    LexicalParaphraser,
+    ParaphraseEngine,
+    StructuralParaphraser,
+)
+from repro.nlg.tokenizer import detokenize, tokenize
+from repro.nlg.vocab import Vocabulary
+
+RULE_SENTENCE = (
+    "perform sequential scan on <T> and filtering on <F> to get the intermediate relation <TN> ."
+)
+
+
+class TestTokenizer:
+    def test_tags_kept_atomic(self):
+        tokens = tokenize("perform scan on <T> and filtering on <F>.")
+        assert "<T>" in tokens and "<F>" in tokens
+
+    def test_lowercasing_skips_tags(self):
+        tokens = tokenize("Perform Scan ON <TN>")
+        assert tokens[0] == "perform" and "<TN>" in tokens
+
+    def test_detokenize_spacing(self):
+        text = detokenize(["sort", "<T>", ",", "then", "stop", "."])
+        assert text == "sort <T>, then stop."
+
+    def test_roundtrip_word_content(self):
+        original = "hash <T> and perform hash join on <T> and <T> on condition <C>."
+        assert tokenize(detokenize(tokenize(original))) == tokenize(original)
+
+
+class TestVocabulary:
+    def test_control_tokens_first(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert vocabulary.pad_id == 0 and vocabulary.bos_id == 1
+        assert len(vocabulary) == 6
+
+    def test_add_is_idempotent(self):
+        vocabulary = Vocabulary()
+        first = vocabulary.add("x")
+        assert vocabulary.add("x") == first
+
+    def test_encode_decode_roundtrip(self):
+        vocabulary = Vocabulary(["perform", "scan", "<T>"])
+        ids = vocabulary.encode(["perform", "scan", "<T>"], add_bos=True, add_end=True)
+        assert ids[0] == vocabulary.bos_id and ids[-1] == vocabulary.end_id
+        assert vocabulary.decode(ids) == ["perform", "scan", "<T>"]
+
+    def test_unknown_maps_to_unk_or_raises(self):
+        vocabulary = Vocabulary(["a"])
+        assert vocabulary.id_of("zzz") == vocabulary.unk_id
+        with pytest.raises(VocabularyError):
+            vocabulary.id_of("zzz", strict=True)
+        with pytest.raises(VocabularyError):
+            vocabulary.token_of(999)
+
+    def test_from_sequences(self):
+        vocabulary = Vocabulary.from_sequences([["a", "b"], ["b", "c"]])
+        assert {"a", "b", "c"} <= set(vocabulary.tokens)
+
+
+class TestMetrics:
+    def test_bleu_identical_is_100(self):
+        tokens = RULE_SENTENCE.split()
+        assert bleu_score(tokens, [tokens]) == pytest.approx(100.0, abs=1e-6)
+
+    def test_bleu_disjoint_is_near_zero(self):
+        assert bleu_score(["a", "b", "c", "d"], [["w", "x", "y", "z"]]) < 5.0
+
+    def test_bleu_decreases_with_divergence(self):
+        reference = RULE_SENTENCE.split()
+        close = reference[:-2] + ["output", "."]
+        far = ["completely"] * len(reference)
+        assert bleu_score(close, [reference]) > bleu_score(far, [reference])
+
+    def test_self_bleu_single_sample_is_one(self):
+        assert self_bleu([["a", "b"]]) == 1.0
+
+    def test_self_bleu_lower_for_diverse_group(self):
+        repetitive = [RULE_SENTENCE.split()] * 3
+        diverse = [
+            RULE_SENTENCE.split(),
+            "execute a sequential scan over <T> keeping rows <F> producing <TN> .".split(),
+            "sequentially read <T> while selecting on <F> which yields <TN> .".split(),
+        ]
+        assert self_bleu(repetitive) == pytest.approx(1.0, abs=1e-6)
+        assert self_bleu(diverse) < self_bleu(repetitive)
+
+    def test_average_group_self_bleu(self):
+        groups = [[["a", "b", "c"]], [["a", "b", "c"], ["a", "b", "c"]]]
+        assert 0.0 < average_group_self_bleu(groups) <= 1.0
+
+    def test_sparse_categorical_accuracy_with_mask(self):
+        predictions = np.array([[1, 2, 3]])
+        targets = np.array([[1, 0, 3]])
+        assert sparse_categorical_accuracy(predictions, targets) == pytest.approx(2 / 3)
+        assert sparse_categorical_accuracy(predictions, targets, np.array([[1, 1, 0]])) == pytest.approx(0.5)
+
+    def test_token_error_count_is_edit_distance(self):
+        assert token_error_count(["a", "b", "c"], ["a", "b", "c"]) == 0
+        assert token_error_count(["a", "x", "c"], ["a", "b", "c"]) == 1
+        assert token_error_count(["a"], ["a", "b", "c"]) == 2
+
+
+class TestParaphrasing:
+    def test_each_tool_changes_wording_but_keeps_tags(self):
+        for tool in (LexicalParaphraser(), StructuralParaphraser(), CompressionParaphraser()):
+            result = tool.paraphrase(RULE_SENTENCE)
+            assert result.count("<T>") == RULE_SENTENCE.count("<T>")
+            assert result.count("<F>") == RULE_SENTENCE.count("<F>")
+
+    def test_tools_are_deterministic(self):
+        tool = LexicalParaphraser()
+        assert tool.paraphrase(RULE_SENTENCE) == tool.paraphrase(RULE_SENTENCE)
+
+    def test_engine_expands_and_deduplicates(self):
+        group = ParaphraseEngine().expand(RULE_SENTENCE)
+        assert group.original == RULE_SENTENCE
+        assert 1 <= group.size <= 4
+        assert len(set(group.samples)) == group.size
+
+    def test_engine_drops_tag_damaging_outputs(self):
+        class Vandal:
+            name = "vandal"
+
+            def paraphrase(self, text: str) -> str:
+                return text.replace("<F>", "something")
+
+        group = ParaphraseEngine(tools=[Vandal()]).expand(RULE_SENTENCE)
+        assert group.paraphrases == []
+
+    def test_expansion_factor_around_three(self):
+        sentences = [RULE_SENTENCE,
+                     "hash <T> and perform hash join on <T> and <T> on condition <C> to get the intermediate relation <TN> .",
+                     "perform duplicate removal on <T> to get the final results ."]
+        factor = ParaphraseEngine().expansion_factor(sentences)
+        assert 2.0 <= factor <= 4.0
+
+
+class TestEmbeddings:
+    @pytest.fixture(scope="class")
+    def tiny_corpus(self):
+        return build_general_corpus(sentence_count=200, seed=1)
+
+    def test_table3_dimensions(self):
+        assert EMBEDDING_DIMENSIONS == {"word2vec": 128, "glove": 100, "bert": 768, "elmo": 1024}
+
+    def test_corpus_builders(self, tiny_corpus):
+        assert len(tiny_corpus) == 200
+        self_trained = build_self_trained_corpus([RULE_SENTENCE] * 5)
+        assert len(self_trained) == 5
+        assert len(tiny_corpus) > len(self_trained)
+
+    def test_skipgram_pairs_within_window(self):
+        corpus = [["a", "b", "c", "d"]]
+        vocabulary = build_training_vocabulary(corpus)
+        centers, contexts = skipgram_pairs(corpus, vocabulary, window=1)
+        assert len(centers) == len(contexts) == 6
+
+    def test_word2vec_places_cooccurring_words_closer(self, tiny_corpus):
+        trainer = train_word2vec(tiny_corpus, dimension=32, epochs=2, seed=2)
+
+        def similarity(a, b):
+            va, vb = trainer.vector_for(a), trainer.vector_for(b)
+            return float(va @ vb / (np.linalg.norm(va) * np.linalg.norm(vb) + 1e-9))
+
+        assert similarity("the", "rows") > similarity("rows", "wikipedia") if "wikipedia" in trainer.vocabulary else True
+        matrix = trainer.embedding_matrix(Vocabulary(["the", "unseen-token"]))
+        assert matrix.shape[1] == 32
+        assert np.allclose(matrix[Vocabulary(["the", "unseen-token"]).id_of("unseen-token")], 0.0)
+
+    def test_glove_cooccurrence_symmetry(self):
+        corpus = [["a", "b", "a"]]
+        vocabulary = build_training_vocabulary(corpus)
+        counts = cooccurrence_counts(corpus, vocabulary, window=2)
+        a, b = vocabulary.id_of("a"), vocabulary.id_of("b")
+        assert counts[(a, b)] == counts[(b, a)]
+
+    def test_glove_training_runs(self, tiny_corpus):
+        trainer = train_glove(tiny_corpus[:80], dimension=16, epochs=2, seed=3)
+        matrix = trainer.embedding_matrix(Vocabulary(["the"]))
+        assert matrix.shape == (5, 16)
+        assert np.linalg.norm(matrix) > 0
+
+    @pytest.mark.parametrize("family", ["word2vec", "glove", "bert", "elmo"])
+    def test_registry_builds_aligned_matrices(self, family):
+        vocabulary = Vocabulary(tokenize(RULE_SENTENCE))
+        matrix = build_embedding_matrix(
+            family, vocabulary, [RULE_SENTENCE] * 10, pretrained=False, dimension=16 if family != "elmo" else 16,
+            epochs=1, seed=4,
+        )
+        assert matrix.shape == (len(vocabulary), 16)
+
+    def test_registry_rejects_unknown_family(self):
+        with pytest.raises(ModelConfigError):
+            build_embedding_matrix("fasttext", Vocabulary(["a"]), ["a b c"])
+
+    def test_elmo_dimension_must_be_even(self):
+        from repro.nlg.embeddings.contextual import ElmoStyleEmbeddings
+
+        with pytest.raises(ValueError):
+            ElmoStyleEmbeddings(dimension=7)

@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.tags import abstract_step_text, restore_step_text
+from repro.nlg.metrics import bleu_score, self_bleu, token_error_count
+from repro.nlg.paraphrase import ParaphraseEngine
+from repro.nlg.tokenizer import tokenize
+from repro.nlg.vocab import Vocabulary
+from repro.sqlengine import Database, DataType
+from repro.sqlengine.expressions import evaluate
+from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.statistics import SelectivityEstimator, analyze_table
+from repro.study.boredom import HabituationModel, text_similarity
+
+_settings = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+words = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+token_lists = st.lists(words, min_size=1, max_size=12)
+
+
+class TestVocabularyProperties:
+    @given(tokens=token_lists)
+    @_settings
+    def test_encode_decode_roundtrip(self, tokens):
+        vocabulary = Vocabulary(tokens)
+        assert vocabulary.decode(vocabulary.encode(tokens)) == tokens
+
+    @given(tokens=token_lists)
+    @_settings
+    def test_ids_are_unique_and_stable(self, tokens):
+        vocabulary = Vocabulary(tokens)
+        ids = [vocabulary.id_of(token) for token in set(tokens)]
+        assert len(ids) == len(set(ids))
+
+
+class TestMetricsProperties:
+    @given(tokens=token_lists)
+    @_settings
+    def test_bleu_identity_is_maximal(self, tokens):
+        assert bleu_score(tokens, [tokens]) >= bleu_score(tokens + ["zzz"], [tokens])
+
+    @given(tokens=st.lists(words, min_size=2, max_size=10))
+    @_settings
+    def test_bleu_within_bounds(self, tokens):
+        score = bleu_score(tokens, [list(reversed(tokens))])
+        assert 0.0 <= score <= 100.0
+
+    @given(group=st.lists(token_lists, min_size=1, max_size=4))
+    @_settings
+    def test_self_bleu_bounds(self, group):
+        assert 0.0 <= self_bleu(group) <= 1.0
+
+    @given(first=token_lists, second=token_lists)
+    @_settings
+    def test_token_error_count_is_metric_like(self, first, second):
+        assert token_error_count(first, first) == 0
+        assert token_error_count(first, second) == token_error_count(second, first)
+        assert token_error_count(first, second) <= max(len(first), len(second))
+
+
+class TestTagProperties:
+    @given(
+        relation=st.text(alphabet="abcdefgh", min_size=3, max_size=8),
+        condition=st.text(alphabet="xyzuvw<> 0123456789", min_size=3, max_size=15),
+    )
+    @_settings
+    def test_abstract_restore_roundtrip(self, relation, condition):
+        text = f"perform sequential scan on {relation} and filtering on ({condition}) to get T1."
+        abstracted, mapping = abstract_step_text(
+            text, relations=[relation], filter_condition=f"({condition})"
+        )
+        assert restore_step_text(abstracted, mapping) == text
+
+    @given(relation=st.text(alphabet="abcdefgh", min_size=3, max_size=8))
+    @_settings
+    def test_paraphrasing_preserves_tags(self, relation):
+        text = f"perform sequential scan on <T> and filtering on <F> near {relation} to get <TN> ."
+        group = ParaphraseEngine().expand(text)
+        for sample in group.samples:
+            assert sample.count("<T>") == text.count("<T>")
+            assert sample.count("<F>") == text.count("<F>")
+            assert sample.count("<TN>") == text.count("<TN>")
+
+
+class TestSimilarityProperties:
+    @given(text=st.text(alphabet="abc def", min_size=1, max_size=30))
+    @_settings
+    def test_similarity_reflexive_and_bounded(self, text):
+        assert 0.0 <= text_similarity(text, text + " extra") <= 1.0
+        if text.strip():
+            assert text_similarity(text, text) == 1.0
+
+    @given(texts=st.lists(st.sampled_from(["alpha beta gamma", "delta epsilon", "alpha beta gamma"]), min_size=1, max_size=20))
+    @_settings
+    def test_habituation_state_never_negative(self, texts):
+        model = HabituationModel(boredom_proneness=0.9)
+        for text in texts:
+            assert model.expose(text) >= 0.0
+
+
+class TestEngineProperties:
+    @given(
+        values=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=60),
+        threshold=st.integers(min_value=-1000, max_value=1000),
+    )
+    @_settings
+    def test_filter_matches_python_semantics(self, values, threshold):
+        db = Database("prop", enable_parallel=False)
+        db.create_table("t", [("v", DataType.INTEGER)])
+        db.insert("t", [(value,) for value in values])
+        db.analyze()
+        rows = db.execute(f"SELECT v FROM t WHERE t.v > {threshold}")
+        assert sorted(row["v"] for row in rows) == sorted(v for v in values if v > threshold)
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+    )
+    @_settings
+    def test_group_count_matches_python(self, values):
+        db = Database("prop2", enable_parallel=False)
+        db.create_table("t", [("v", DataType.INTEGER)])
+        db.insert("t", [(value,) for value in values])
+        db.analyze()
+        rows = db.execute("SELECT t.v, count(*) AS n FROM t GROUP BY t.v")
+        expected: dict[int, int] = {}
+        for value in values:
+            expected[value] = expected.get(value, 0) + 1
+        assert {row["v"]: row["n"] for row in rows} == expected
+
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=80))
+    @_settings
+    def test_selectivity_always_in_unit_interval(self, values):
+        db = Database("prop3", enable_parallel=False)
+        db.create_table("t", [("v", DataType.FLOAT)])
+        db.insert("t", [(value,) for value in values])
+        statistics = analyze_table(db.storage.table("t"))
+        estimator = SelectivityEstimator({"t": statistics}, {"v": "t"})
+        for condition in ("t.v > 0", "t.v = 1.5", "t.v < -100 OR t.v > 100", "NOT t.v = 0"):
+            where = parse_sql(f"SELECT v FROM t WHERE {condition}").where
+            assert 0.0 <= estimator.selectivity(where) <= 1.0
+
+    @given(
+        left=st.integers(min_value=-100, max_value=100),
+        right=st.integers(min_value=-100, max_value=100),
+    )
+    @_settings
+    def test_expression_arithmetic_matches_python(self, left, right):
+        statement = parse_sql(f"SELECT a FROM t WHERE {left} + a * {right} >= 0")
+        row = {"t.a": 3}
+        expected = (left + 3 * right) >= 0
+        assert evaluate(statement.where, row) is expected
+
+
+class TestTokenizerProperties:
+    @given(tokens=st.lists(st.sampled_from(["perform", "scan", "<T>", "<F>", "on", "rows", "."]), min_size=1, max_size=15))
+    @_settings
+    def test_tokenize_is_stable_under_detokenize(self, tokens):
+        from repro.nlg.tokenizer import detokenize
+
+        text = detokenize(tokens)
+        assert tokenize(text) == tokenize(detokenize(tokenize(text)))

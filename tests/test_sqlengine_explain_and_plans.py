@@ -1,0 +1,159 @@
+"""Tests for EXPLAIN serialization and the plan parsers (PostgreSQL JSON, SQL Server XML)."""
+
+import json
+
+import pytest
+
+from repro.errors import PlanFormatError
+from repro.plans import (
+    parse_postgres_json,
+    parse_sqlserver_xml,
+    plan_from_database,
+    render_visual_tree,
+)
+from repro.plans.visual import tree_summary
+from repro.sqlengine.explain import to_postgres_dict, to_postgres_json, to_sqlserver_xml, to_text
+
+JOIN_SQL = (
+    "SELECT u.city, count(*) AS n FROM users u, orders o "
+    "WHERE u.id = o.user_id AND o.amount > 20 GROUP BY u.city ORDER BY n DESC LIMIT 2"
+)
+
+
+class TestExplainText:
+    def test_text_contains_operators_and_conditions(self, toy_db):
+        text = toy_db.explain(JOIN_SQL)
+        assert "Limit" in text and "Sort" in text
+        assert "Seq Scan on orders" in text
+        assert "cost=" in text and "rows=" in text
+
+    def test_text_indentation_shows_hierarchy(self, toy_db):
+        text = toy_db.explain("SELECT id FROM users u ORDER BY u.id")
+        lines = text.splitlines()
+        assert lines[0].startswith("Sort")
+        assert any(line.lstrip().startswith("->") for line in lines)
+
+
+class TestExplainJson:
+    def test_json_roundtrip_structure(self, toy_db):
+        document = json.loads(toy_db.explain(JOIN_SQL, output_format="json"))
+        assert isinstance(document, list)
+        plan = document[0]["Plan"]
+        assert plan["Node Type"] == "Limit"
+        assert "Plans" in plan
+
+    def test_json_has_pg_style_keys(self, toy_db):
+        plan = to_postgres_dict(toy_db.plan(JOIN_SQL))[0]["Plan"]
+        flattened = json.dumps(plan)
+        assert "Total Cost" in flattened
+        assert "Plan Rows" in flattened
+        assert "Relation Name" in flattened
+
+    def test_hash_cond_key_used_for_hash_join(self, toy_db):
+        flattened = toy_db.explain(JOIN_SQL, output_format="json")
+        parsed = parse_postgres_json(flattened)
+        join_nodes = [n for n in parsed.walk() if "Join" in n.name or n.name == "Nested Loop"]
+        assert join_nodes and join_nodes[0].join_condition
+
+
+class TestPostgresParser:
+    def test_parse_roundtrip(self, toy_db):
+        tree = plan_from_database(toy_db, JOIN_SQL)
+        assert tree.source == "postgresql"
+        assert tree.query_text == JOIN_SQL
+        assert tree.root.name == "Limit"
+        assert "users" in tree.relations() and "orders" in tree.relations()
+
+    def test_aggregate_strategy_renamed(self, toy_db):
+        tree = plan_from_database(toy_db, "SELECT u.city, count(*) FROM users u GROUP BY u.city")
+        names = tree.operator_names()
+        assert any(name in ("HashAggregate", "GroupAggregate") for name in names)
+
+    def test_filter_and_conditions_normalized(self, toy_db):
+        tree = plan_from_database(toy_db, "SELECT id FROM users u WHERE u.age > 30")
+        scan = tree.leaves()[0]
+        assert scan.filter_condition and "age" in scan.filter_condition
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(PlanFormatError):
+            parse_postgres_json("{not json")
+        with pytest.raises(PlanFormatError):
+            parse_postgres_json([])
+        with pytest.raises(PlanFormatError):
+            parse_postgres_json([{"Plan": {"Missing": "Node Type"}}])
+
+    def test_parse_handcrafted_pg_document(self):
+        document = [{
+            "Plan": {
+                "Node Type": "Hash Join",
+                "Hash Cond": "(a.id = b.id)",
+                "Total Cost": 12.5,
+                "Plan Rows": 42,
+                "Plans": [
+                    {"Node Type": "Seq Scan", "Relation Name": "a", "Alias": "a"},
+                    {"Node Type": "Hash", "Plans": [
+                        {"Node Type": "Seq Scan", "Relation Name": "b", "Filter": "(b.x > 1)"},
+                    ]},
+                ],
+            }
+        }]
+        tree = parse_postgres_json(document)
+        assert tree.root.name == "Hash Join"
+        assert tree.root.join_condition == "(a.id = b.id)"
+        assert tree.node_count() == 4
+
+
+class TestSqlServerXml:
+    def test_xml_structure_and_parse(self, toy_db):
+        xml_text = toy_db.explain(JOIN_SQL, output_format="xml")
+        assert "ShowPlanXML" in xml_text and "RelOp" in xml_text
+        tree = parse_sqlserver_xml(xml_text)
+        assert tree.source == "sqlserver"
+        names = tree.operator_names()
+        assert "Table Scan" in names
+        assert all(name not in names for name in ("Seq Scan", "Hash"))
+
+    def test_hash_build_node_spliced_out(self, toy_db):
+        pg_tree = plan_from_database(toy_db, JOIN_SQL)
+        xml_tree = parse_sqlserver_xml(toy_db.explain(JOIN_SQL, output_format="xml"))
+        assert xml_tree.node_count() == pg_tree.node_count() - len(pg_tree.root.find("Hash"))
+
+    def test_hash_match_aggregate_disambiguated(self, toy_db):
+        xml_text = toy_db.explain(
+            "SELECT u.city, count(*) FROM users u GROUP BY u.city", output_format="xml"
+        )
+        tree = parse_sqlserver_xml(xml_text)
+        assert any(
+            name in ("Hash Match (Aggregate)", "Stream Aggregate") for name in tree.operator_names()
+        )
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(PlanFormatError):
+            parse_sqlserver_xml("<broken")
+        with pytest.raises(PlanFormatError):
+            parse_sqlserver_xml("<ShowPlanXML></ShowPlanXML>")
+
+
+class TestVisualTree:
+    def test_render_contains_all_operators(self, toy_db):
+        tree = plan_from_database(toy_db, JOIN_SQL)
+        rendering = render_visual_tree(tree)
+        for name in set(tree.operator_names()):
+            assert name in rendering
+
+    def test_render_with_details_shows_conditions(self, toy_db):
+        tree = plan_from_database(toy_db, "SELECT id FROM users u WHERE u.age > 30")
+        rendering = render_visual_tree(tree, show_details=True)
+        assert "age" in rendering
+
+    def test_annotation_callback(self, toy_db):
+        tree = plan_from_database(toy_db, "SELECT id FROM users u")
+        rendering = render_visual_tree(tree, annotation=lambda node: f"note:{node.name}")
+        assert "note:Seq Scan" in rendering
+
+    def test_tree_summary_counts(self, toy_db):
+        tree = plan_from_database(toy_db, JOIN_SQL)
+        summary = tree_summary(tree)
+        assert summary["nodes"] == tree.node_count()
+        assert summary["scans"] == 2
+        assert summary["joins"] >= 1

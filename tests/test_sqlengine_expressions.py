@@ -1,0 +1,117 @@
+"""Unit tests for expression evaluation and predicate analysis."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sqlengine.ast_nodes import BinaryOp, ColumnRef, Literal
+from repro.sqlengine.expressions import (
+    combine_conjuncts,
+    evaluate,
+    is_equijoin,
+    referenced_bindings,
+    referenced_columns,
+    split_conjuncts,
+)
+from repro.sqlengine.parser import parse_sql
+
+
+def _where(sql_condition: str):
+    return parse_sql(f"SELECT a FROM t WHERE {sql_condition}").where
+
+
+ROW = {"t.a": 5, "t.b": 2.5, "t.name": "Alice", "t.flag": None, "t.d": datetime.date(1995, 3, 15)}
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "condition, expected",
+        [
+            ("a = 5", True),
+            ("a <> 5", False),
+            ("a < 10 AND b > 1", True),
+            ("a < 3 OR b > 1", True),
+            ("NOT a = 5", False),
+            ("a BETWEEN 1 AND 5", True),
+            ("a NOT BETWEEN 1 AND 5", False),
+            ("a IN (1, 2, 5)", True),
+            ("a NOT IN (1, 2, 3)", True),
+            ("name LIKE 'Ali%'", True),
+            ("name LIKE '%lice'", True),
+            ("name LIKE 'Bob%'", False),
+            ("flag IS NULL", True),
+            ("flag IS NOT NULL", False),
+            ("a + b = 7.5", True),
+            ("a * 2 = 10", True),
+            ("a - 1 = 4", True),
+            ("a % 2 = 1", True),
+        ],
+    )
+    def test_predicates(self, condition, expected):
+        assert evaluate(_where(condition), ROW) is expected
+
+    def test_null_propagates_through_comparison(self):
+        assert evaluate(_where("flag > 1"), ROW) is None
+
+    def test_and_with_null_and_false_is_false(self):
+        assert evaluate(_where("flag > 1 AND a = 1"), ROW) is False
+
+    def test_or_with_null_and_true_is_true(self):
+        assert evaluate(_where("flag > 1 OR a = 5"), ROW) is True
+
+    def test_date_comparison_with_iso_string(self):
+        assert evaluate(_where("d < '1996-01-01'"), ROW) is True
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate(_where("a / 0 > 1"), ROW)
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate(BinaryOp("=", ColumnRef("zzz"), Literal(1)), ROW)
+
+    def test_unqualified_column_resolves_by_suffix(self):
+        assert evaluate(BinaryOp("=", ColumnRef("a"), Literal(5)), ROW) is True
+
+    def test_case_expression(self):
+        expression = parse_sql(
+            "SELECT CASE WHEN a > 3 THEN 'big' ELSE 'small' END FROM t"
+        ).select_items[0].expression
+        assert evaluate(expression, ROW) == "big"
+
+    def test_string_concatenation(self):
+        expression = parse_sql("SELECT name || '!' FROM t").select_items[0].expression
+        assert evaluate(expression, ROW) == "Alice!"
+
+    def test_scalar_functions(self):
+        assert evaluate(parse_sql("SELECT upper(name) FROM t").select_items[0].expression, ROW) == "ALICE"
+        assert evaluate(parse_sql("SELECT length(name) FROM t").select_items[0].expression, ROW) == 5
+        assert evaluate(parse_sql("SELECT abs(b) FROM t").select_items[0].expression, ROW) == 2.5
+
+
+class TestPredicateAnalysis:
+    def test_split_and_combine_conjuncts_roundtrip(self):
+        condition = _where("a = 1 AND b = 2 AND name LIKE 'x%'")
+        conjuncts = split_conjuncts(condition)
+        assert len(conjuncts) == 3
+        rebuilt = combine_conjuncts(conjuncts)
+        assert sorted(str(c) for c in split_conjuncts(rebuilt)) == sorted(str(c) for c in conjuncts)
+
+    def test_split_none_returns_empty(self):
+        assert split_conjuncts(None) == []
+
+    def test_combine_empty_returns_none(self):
+        assert combine_conjuncts([]) is None
+
+    def test_is_equijoin(self):
+        assert is_equijoin(_where("t.a = u.b"))
+        assert not is_equijoin(_where("t.a = 3"))
+        assert not is_equijoin(_where("t.a > u.b"))
+
+    def test_referenced_columns_and_bindings(self):
+        condition = _where("t.a = u.b AND c > 5")
+        columns = referenced_columns(condition)
+        assert {column.name for column in columns} == {"a", "b", "c"}
+        bindings = referenced_bindings(condition, {"c": "v"})
+        assert bindings == {"t", "u", "v"}

@@ -1,0 +1,184 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    NotOp,
+    Star,
+)
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.parser import parse_sql
+
+
+class TestLexer:
+    def test_keywords_are_lowercased(self):
+        tokens = tokenize("SELECT a FROM t")
+        assert [t.kind for t in tokens[:3]] == ["keyword", "name", "keyword"]
+        assert tokens[0].value == "select"
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].kind == "string"
+        assert tokens[1].value == "it's"
+
+    def test_numbers_and_operators(self):
+        tokens = tokenize("a >= 1.5")
+        assert tokens[1].value == ">="
+        assert tokens[2].kind == "number"
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("SELECT a -- trailing comment\nFROM t")
+        assert all(t.kind != "comment" for t in tokens)
+        assert tokens[-1].kind == "eof"
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @a FROM t")
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT a, b FROM t")
+        assert len(stmt.select_items) == 2
+        assert stmt.from_tables[0].name == "t"
+        assert stmt.where is None
+
+    def test_star_projection(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert isinstance(stmt.select_items[0].expression, Star)
+
+    def test_table_alias(self):
+        stmt = parse_sql("SELECT c.name FROM customer c")
+        assert stmt.from_tables[0].alias == "c"
+        assert stmt.from_tables[0].binding == "c"
+
+    def test_column_alias_with_as(self):
+        stmt = parse_sql("SELECT count(*) AS n FROM t")
+        assert stmt.select_items[0].alias == "n"
+
+    def test_distinct_flag(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+        assert not parse_sql("SELECT a FROM t").distinct
+
+    def test_limit_and_offset(self):
+        stmt = parse_sql("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit == 10
+        assert stmt.offset == 5
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT a FROM t WHERE")
+
+    def test_missing_from_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT a")
+
+
+class TestParserExpressions:
+    def test_comparison_predicate(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a > 5")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.operator == ">"
+
+    def test_and_or_precedence(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, BooleanOp)
+        assert stmt.where.operator == "or"
+        assert isinstance(stmt.where.operands[1], BooleanOp)
+        assert stmt.where.operands[1].operator == "and"
+
+    def test_not_like(self):
+        stmt = parse_sql("SELECT a FROM t WHERE name NOT LIKE 'x%'")
+        assert isinstance(stmt.where, NotOp)
+        assert isinstance(stmt.where.operand, BinaryOp)
+        assert stmt.where.operand.operator == "like"
+
+    def test_in_list(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, InList)
+        assert len(stmt.where.items) == 3
+
+    def test_between(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a BETWEEN 1 AND 10")
+        assert isinstance(stmt.where, Between)
+
+    def test_is_not_null(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a IS NOT NULL")
+        assert isinstance(stmt.where, IsNull)
+        assert stmt.where.negated
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_sql("SELECT a + b * 2 FROM t")
+        expr = stmt.select_items[0].expression
+        assert isinstance(expr, BinaryOp)
+        assert expr.operator == "+"
+        assert isinstance(expr.right, BinaryOp)
+        assert expr.right.operator == "*"
+
+    def test_negative_literal(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a > -5")
+        assert isinstance(stmt.where.right, Literal)
+        assert stmt.where.right.value == -5
+
+    def test_qualified_column(self):
+        stmt = parse_sql("SELECT t.a FROM t")
+        column = stmt.select_items[0].expression
+        assert isinstance(column, ColumnRef)
+        assert column.table == "t"
+
+    def test_count_star_aggregate(self):
+        stmt = parse_sql("SELECT count(*) FROM t")
+        call = stmt.select_items[0].expression
+        assert isinstance(call, FunctionCall)
+        assert call.is_aggregate
+
+    def test_count_distinct(self):
+        stmt = parse_sql("SELECT count(DISTINCT a) FROM t")
+        assert stmt.select_items[0].expression.distinct
+
+    def test_case_expression(self):
+        stmt = parse_sql("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+        assert "CASE" in str(stmt.select_items[0].expression)
+
+
+class TestParserClauses:
+    def test_group_by_and_having(self):
+        stmt = parse_sql("SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.has_aggregation
+
+    def test_order_by_desc(self):
+        stmt = parse_sql("SELECT a FROM t ORDER BY a DESC, b")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_explicit_join(self):
+        stmt = parse_sql("SELECT a FROM t JOIN u ON t.id = u.id")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].join_type == "inner"
+        assert len(stmt.relations) == 2
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT a FROM t LEFT JOIN u ON t.id = u.id")
+        assert stmt.joins[0].join_type == "left"
+
+    def test_implicit_join_comma_list(self):
+        stmt = parse_sql("SELECT a FROM t, u, v WHERE t.id = u.id")
+        assert len(stmt.from_tables) == 3
+
+    def test_aggregates_collected_from_having_and_order(self):
+        stmt = parse_sql(
+            "SELECT a FROM t GROUP BY a HAVING sum(b) > 3 ORDER BY count(*) DESC"
+        )
+        names = sorted(str(call) for call in stmt.aggregates())
+        assert names == ["COUNT(*)", "SUM(b)"]

@@ -1,0 +1,166 @@
+"""Unit tests for the cost-based planner (access paths, join ordering, post-join planning)."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.sqlengine import Database, DataType
+from repro.sqlengine.physical import (
+    GROUP_AGGREGATE,
+    HASH_AGGREGATE,
+    HASH_JOIN,
+    INDEX_SCAN,
+    LIMIT,
+    MERGE_JOIN,
+    NESTED_LOOP,
+    SEQ_SCAN,
+    SORT,
+    UNIQUE,
+)
+
+
+@pytest.fixture(scope="module")
+def planner_db():
+    db = Database("planner", enable_parallel=False)
+    db.create_table("big", [("id", DataType.INTEGER), ("fk", DataType.INTEGER), ("v", DataType.FLOAT)])
+    db.create_table("small", [("id", DataType.INTEGER), ("label", DataType.TEXT)])
+    db.insert("big", [(i, i % 200, float(i)) for i in range(20000)])
+    db.insert("small", [(i, f"label{i % 10}") for i in range(200)])
+    db.create_index("idx_big_id", "big", ["id"])
+    db.create_index("idx_big_fk", "big", ["fk"])
+    db.analyze()
+    return db
+
+
+class TestAccessPaths:
+    def test_full_scan_without_predicate(self, planner_db):
+        plan = planner_db.plan("SELECT v FROM big b")
+        assert plan.root.node_type == SEQ_SCAN
+
+    def test_selective_equality_uses_index(self, planner_db):
+        plan = planner_db.plan("SELECT v FROM big b WHERE b.id = 17")
+        assert INDEX_SCAN in plan.operators()
+        index_node = plan.root.find(INDEX_SCAN)[0]
+        assert index_node.index_name == "idx_big_id"
+        assert index_node.index_condition is not None
+
+    def test_unselective_range_prefers_seq_scan(self, planner_db):
+        plan = planner_db.plan("SELECT v FROM big b WHERE b.id > 5")
+        assert plan.root.find(SEQ_SCAN)
+
+    def test_selective_range_uses_index(self, planner_db):
+        plan = planner_db.plan("SELECT v FROM big b WHERE b.id BETWEEN 100 AND 110")
+        # BETWEEN is split into two range conjuncts; index should win for a tight range
+        assert plan.operators()[0] in (INDEX_SCAN, SEQ_SCAN)
+
+    def test_unknown_table_raises(self, planner_db):
+        with pytest.raises(PlanningError):
+            planner_db.plan("SELECT x FROM missing m")
+
+    def test_duplicate_binding_raises(self, planner_db):
+        with pytest.raises(PlanningError):
+            planner_db.plan("SELECT b.v FROM big b, small b")
+
+
+class TestJoinPlanning:
+    def test_equijoin_produces_join_operator(self, planner_db):
+        plan = planner_db.plan(
+            "SELECT s.label FROM big b, small s WHERE b.fk = s.id AND b.v < 50"
+        )
+        operators = plan.operators()
+        assert any(op in operators for op in (HASH_JOIN, MERGE_JOIN, NESTED_LOOP))
+
+    def test_hash_join_has_hash_child(self, planner_db):
+        plan = planner_db.plan("SELECT s.label FROM big b, small s WHERE b.fk = s.id")
+        joins = plan.root.find(HASH_JOIN)
+        if joins:
+            child_types = [child.node_type for child in joins[0].children]
+            assert "Hash" in child_types
+
+    def test_join_condition_recorded(self, planner_db):
+        plan = planner_db.plan("SELECT s.label FROM big b, small s WHERE b.fk = s.id")
+        join_nodes = [node for node in plan.root.walk() if node.is_join]
+        assert join_nodes and join_nodes[0].join_condition is not None
+
+    def test_three_way_join_covers_all_relations(self, planner_db, toy_db):
+        plan = toy_db.plan(
+            "SELECT u.name FROM users u, orders o, users v "
+            "WHERE u.id = o.user_id AND v.id = o.user_id"
+        )
+        relations = {node.relation for node in plan.root.walk() if node.relation}
+        assert relations == {"users", "orders"}
+        scans = [node for node in plan.root.walk() if node.is_scan]
+        assert len(scans) == 3
+
+    def test_cross_product_falls_back_to_nested_loop(self, toy_db):
+        plan = toy_db.plan("SELECT u.name FROM users u, orders o LIMIT 3")
+        assert NESTED_LOOP in plan.operators()
+
+
+class TestPostJoinPlanning:
+    def test_group_by_produces_aggregate(self, planner_db):
+        plan = planner_db.plan("SELECT s.label, count(*) FROM small s GROUP BY s.label")
+        assert any(op in plan.operators() for op in (HASH_AGGREGATE, GROUP_AGGREGATE))
+
+    def test_plain_aggregate_without_group(self, planner_db):
+        plan = planner_db.plan("SELECT count(*) FROM small s")
+        assert "Aggregate" in plan.operators()
+
+    def test_group_aggregate_has_sort_child_when_sorted(self, planner_db):
+        plan = planner_db.plan("SELECT b.fk, count(*) FROM big b GROUP BY b.fk")
+        aggregate = [node for node in plan.root.walk() if node.is_aggregate][0]
+        if aggregate.node_type == GROUP_AGGREGATE:
+            assert aggregate.children[0].node_type == SORT
+
+    def test_having_becomes_aggregate_filter(self, planner_db):
+        plan = planner_db.plan(
+            "SELECT s.label, count(*) FROM small s GROUP BY s.label HAVING count(*) > 5"
+        )
+        aggregate = [node for node in plan.root.walk() if node.is_aggregate][0]
+        assert aggregate.filter is not None
+
+    def test_order_by_adds_sort(self, planner_db):
+        plan = planner_db.plan("SELECT v FROM big b ORDER BY b.v DESC")
+        assert plan.root.node_type == SORT
+        assert plan.root.sort_keys
+
+    def test_limit_is_topmost(self, planner_db):
+        plan = planner_db.plan("SELECT v FROM big b ORDER BY b.v LIMIT 7")
+        assert plan.root.node_type == LIMIT
+        assert plan.root.extra["limit"] == 7
+
+    def test_distinct_produces_unique_or_hashaggregate(self, planner_db):
+        plain = planner_db.plan("SELECT DISTINCT s.label FROM small s")
+        assert plain.root.node_type in (HASH_AGGREGATE, UNIQUE)
+        with_order = planner_db.plan("SELECT DISTINCT s.label FROM small s ORDER BY s.label")
+        assert UNIQUE in with_order.operators()
+
+    def test_estimated_rows_positive_and_costs_monotone(self, planner_db):
+        plan = planner_db.plan(
+            "SELECT s.label, count(*) FROM big b, small s WHERE b.fk = s.id GROUP BY s.label"
+        )
+        for node in plan.root.walk():
+            assert node.plan_rows >= 1.0
+            for child in node.children:
+                assert node.total_cost >= child.total_cost - 1e-9
+
+    def test_order_by_output_alias_is_resolved(self, planner_db):
+        plan = planner_db.plan(
+            "SELECT s.label, count(*) AS n FROM small s GROUP BY s.label ORDER BY n DESC"
+        )
+        sort_nodes = plan.root.find(SORT)
+        assert sort_nodes
+        expressions = sort_nodes[0].extra["order_expressions"]
+        assert "COUNT" in str(expressions[0][0]).upper()
+
+
+class TestParallelPlanning:
+    def test_parallel_scan_for_large_tables(self):
+        db = Database("parallel", enable_parallel=True)
+        db.create_table("huge", [("id", DataType.INTEGER)])
+        db.insert("huge", [(i,) for i in range(1000)])
+        db.analyze()
+        # force the threshold by faking statistics
+        db._statistics["huge"].row_count = 300_000
+        plan = db.plan("SELECT id FROM huge h")
+        assert plan.operators()[0] == "Gather"
+        assert "Parallel Seq Scan" in plan.operators()

@@ -1,0 +1,163 @@
+"""Unit tests for catalog, heap storage, and index data structures."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError
+from repro.sqlengine import Database, DataType
+from repro.sqlengine.schema import Catalog, Column, Index, TableSchema
+from repro.sqlengine.storage import BTreeIndexData, HashIndexData, HeapTable, StorageManager
+
+
+def make_schema():
+    return TableSchema(
+        name="t",
+        columns=[Column("id", DataType.INTEGER), Column("name", DataType.TEXT),
+                 Column("score", DataType.FLOAT)],
+        primary_key=("id",),
+    )
+
+
+class TestCatalog:
+    def test_add_and_lookup_table(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        assert catalog.has_table("T")
+        assert catalog.table("t").column("name").data_type is DataType.TEXT
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        with pytest.raises(CatalogError):
+            catalog.add_table(make_schema())
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("x", [Column("a", DataType.INTEGER), Column("a", DataType.TEXT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema("x", [Column("a", DataType.INTEGER)], primary_key=("b",))
+
+    def test_index_validation(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        catalog.add_index(Index("idx_t_id", "t", ("id",)))
+        assert catalog.indexes_for("t")[0].leading_column == "id"
+        with pytest.raises(CatalogError):
+            catalog.add_index(Index("idx_bad", "t", ("missing",)))
+
+    def test_invalid_index_kind_rejected(self):
+        with pytest.raises(CatalogError):
+            Index("idx", "t", ("id",), kind="rtree")
+
+    def test_resolve_column_ambiguity(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        catalog.add_table(TableSchema("u", [Column("id", DataType.INTEGER)]))
+        with pytest.raises(CatalogError):
+            catalog.resolve_column("id", ["t", "u"])
+        table, column = catalog.resolve_column("name", ["t", "u"])
+        assert table == "t" and column.name == "name"
+
+    def test_drop_table_removes_indexes(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        catalog.add_index(Index("idx_t_id", "t", ("id",)))
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        assert not catalog.has_index("idx_t_id")
+
+
+class TestHeapTable:
+    def test_insert_and_scan(self):
+        table = HeapTable(make_schema())
+        table.insert((1, "a", 1.5))
+        table.insert({"id": 2, "name": "b", "score": 2.5})
+        assert table.row_count == 2
+        assert list(table.column_values("name")) == ["a", "b"]
+
+    def test_insert_wrong_arity_raises(self):
+        table = HeapTable(make_schema())
+        with pytest.raises(ExecutionError):
+            table.insert((1, "a"))
+
+    def test_type_coercion_on_insert(self):
+        table = HeapTable(make_schema())
+        table.insert(("7", 123, "9.5"))
+        row = table.fetch(0)
+        assert row == (7, "123", 9.5)
+
+    def test_as_dicts_uses_binding_prefix(self):
+        table = HeapTable(make_schema())
+        table.insert((1, "a", 1.0))
+        row = next(table.as_dicts("x"))
+        assert set(row) == {"x.id", "x.name", "x.score"}
+
+    def test_page_count_grows_with_rows(self):
+        table = HeapTable(make_schema())
+        small = table.page_count
+        table.insert_many((i, "n", 0.5) for i in range(5000))
+        assert table.page_count > small
+
+
+class TestIndexes:
+    def _table(self):
+        table = HeapTable(make_schema())
+        table.insert_many((i, f"name{i}", float(i % 7)) for i in range(100))
+        return table
+
+    def test_hash_index_lookup(self):
+        index = Index("idx", "t", ("id",), kind="hash")
+        data = HashIndexData(index, self._table())
+        assert data.lookup(42) == [42]
+        assert data.lookup(-1) == []
+        assert data.distinct_keys == 100
+
+    def test_btree_range_lookup(self):
+        index = Index("idx", "t", ("id",))
+        data = BTreeIndexData(index, self._table())
+        assert data.range_lookup(10, 14) == [10, 11, 12, 13, 14]
+        assert data.range_lookup(95, None) == [95, 96, 97, 98, 99]
+        assert data.range_lookup(None, 2) == [0, 1, 2]
+        assert data.range_lookup(10, 12, low_inclusive=False, high_inclusive=False) == [11]
+        assert data.lookup(7) == [7]
+
+    def test_storage_manager_rebuilds_dirty_indexes(self):
+        manager = StorageManager()
+        schema = make_schema()
+        table = manager.create_table(schema)
+        manager.register_index(Index("idx", "t", ("id",)))
+        table.insert((1, "a", 0.0))
+        manager.mark_dirty("t")
+        assert manager.index_data("idx").lookup(1) == [0]
+        table.insert((2, "b", 0.0))
+        manager.mark_dirty("t")
+        assert manager.index_data("idx").lookup(2) == [1]
+
+
+class TestDatabaseFacade:
+    def test_create_insert_analyze_roundtrip(self):
+        db = Database("x")
+        db.create_table("t", [("id", DataType.INTEGER), ("v", DataType.TEXT)])
+        assert db.insert("t", [(1, "a"), (2, "b")]) == 2
+        db.analyze()
+        assert db.statistics("t").row_count == 2
+        assert db.row_count("t") == 2
+
+    def test_insert_into_missing_table_raises(self):
+        with pytest.raises(CatalogError):
+            Database("x").insert("nope", [(1,)])
+
+    def test_explain_unknown_format_raises(self, toy_db):
+        with pytest.raises(ValueError):
+            toy_db.explain("SELECT id FROM users", output_format="yaml")
+
+    def test_drop_table(self):
+        db = Database("x")
+        db.create_table("t", [("id", DataType.INTEGER)])
+        db.drop_table("t")
+        assert not db.catalog.has_table("t")

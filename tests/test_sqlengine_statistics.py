@@ -1,0 +1,130 @@
+"""Unit tests for statistics collection and selectivity estimation."""
+
+import pytest
+
+from repro.sqlengine import Database, DataType
+from repro.sqlengine.ast_nodes import ColumnRef
+from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.statistics import (
+    DEFAULT_LIKE_SELECTIVITY,
+    SelectivityEstimator,
+    analyze_table,
+)
+
+
+@pytest.fixture()
+def stats_db():
+    db = Database("stats", enable_parallel=False)
+    db.create_table(
+        "t",
+        [("id", DataType.INTEGER), ("category", DataType.TEXT), ("value", DataType.FLOAT),
+         ("maybe", DataType.INTEGER)],
+    )
+    rows = []
+    for i in range(1000):
+        rows.append((i, f"cat{i % 4}", float(i), i if i % 10 else None))
+    db.insert("t", rows)
+    db.analyze()
+    return db
+
+
+def _estimator(db):
+    return SelectivityEstimator({"t": db.statistics("t")}, {"id": "t", "category": "t", "value": "t", "maybe": "t"})
+
+
+def _where(condition):
+    return parse_sql(f"SELECT id FROM t WHERE {condition}").where
+
+
+class TestAnalyze:
+    def test_row_count_and_ndv(self, stats_db):
+        statistics = stats_db.statistics("t")
+        assert statistics.row_count == 1000
+        assert statistics.column("category").distinct_values == 4
+        assert statistics.column("id").distinct_values == 1000
+
+    def test_min_max(self, stats_db):
+        column = stats_db.statistics("t").column("value")
+        assert column.minimum == 0.0
+        assert column.maximum == 999.0
+
+    def test_null_fraction(self, stats_db):
+        column = stats_db.statistics("t").column("maybe")
+        assert column.null_fraction == pytest.approx(0.1, abs=0.01)
+
+    def test_most_common_values_cover_frequent_categories(self, stats_db):
+        column = stats_db.statistics("t").column("category")
+        values = {value for value, _ in column.most_common_values}
+        assert values == {"cat0", "cat1", "cat2", "cat3"}
+
+    def test_empty_table_statistics(self):
+        db = Database("empty")
+        db.create_table("e", [("a", DataType.INTEGER)])
+        statistics = analyze_table(db.storage.table("e"))
+        assert statistics.row_count == 0
+        assert statistics.column("a").distinct_values == 1
+
+
+class TestSelectivity:
+    def test_equality_on_uniform_category(self, stats_db):
+        selectivity = _estimator(stats_db).selectivity(_where("category = 'cat1'"))
+        assert selectivity == pytest.approx(0.25, abs=0.05)
+
+    def test_equality_on_unique_key_is_tiny(self, stats_db):
+        selectivity = _estimator(stats_db).selectivity(_where("id = 500"))
+        assert selectivity < 0.01
+
+    def test_range_selectivity_interpolates(self, stats_db):
+        estimator = _estimator(stats_db)
+        low = estimator.selectivity(_where("value < 100"))
+        high = estimator.selectivity(_where("value < 900"))
+        assert low == pytest.approx(0.1, abs=0.05)
+        assert high == pytest.approx(0.9, abs=0.05)
+        assert low < high
+
+    def test_conjunction_multiplies(self, stats_db):
+        estimator = _estimator(stats_db)
+        combined = estimator.selectivity(_where("category = 'cat1' AND value < 100"))
+        assert combined == pytest.approx(0.25 * 0.1, rel=0.5)
+
+    def test_disjunction_is_larger_than_each_term(self, stats_db):
+        estimator = _estimator(stats_db)
+        either = estimator.selectivity(_where("category = 'cat1' OR category = 'cat2'"))
+        assert either > estimator.selectivity(_where("category = 'cat1'"))
+
+    def test_not_inverts(self, stats_db):
+        estimator = _estimator(stats_db)
+        positive = estimator.selectivity(_where("category = 'cat1'"))
+        negative = estimator.selectivity(_where("NOT category = 'cat1'"))
+        assert positive + negative == pytest.approx(1.0, abs=0.01)
+
+    def test_like_uses_default(self, stats_db):
+        assert _estimator(stats_db).selectivity(_where("category LIKE 'cat%'")) == DEFAULT_LIKE_SELECTIVITY
+
+    def test_between_uses_independence_of_bounds(self, stats_db):
+        # the classic System R estimate multiplies the two bound selectivities
+        # (0.9 * 0.2), over-estimating the true 10% — same behaviour as PostgreSQL
+        estimator = _estimator(stats_db)
+        selectivity = estimator.selectivity(_where("value BETWEEN 100 AND 200"))
+        assert selectivity == pytest.approx(0.18, abs=0.05)
+        assert selectivity < estimator.selectivity(_where("value <= 200"))
+
+    def test_is_null_uses_null_fraction(self, stats_db):
+        estimator = _estimator(stats_db)
+        assert estimator.selectivity(_where("maybe IS NULL")) == pytest.approx(0.1, abs=0.02)
+        assert estimator.selectivity(_where("maybe IS NOT NULL")) == pytest.approx(0.9, abs=0.02)
+
+    def test_join_selectivity_uses_max_ndv(self, stats_db):
+        estimator = SelectivityEstimator(
+            {"a": stats_db.statistics("t"), "b": stats_db.statistics("t")}
+        )
+        selectivity = estimator.join_selectivity(ColumnRef("id", "a"), ColumnRef("id", "b"))
+        assert selectivity == pytest.approx(1 / 1000)
+
+    def test_none_predicate_is_one(self, stats_db):
+        assert _estimator(stats_db).selectivity(None) == 1.0
+
+    def test_distinct_values_capped_by_rows(self, stats_db):
+        estimator = _estimator(stats_db)
+        assert estimator.distinct_values(ColumnRef("category", "t"), 2.0) <= 2.0
+        assert estimator.distinct_values(ColumnRef("category", "t"), 1000.0) == 4.0

@@ -1,0 +1,123 @@
+"""Tests for the workload schemas, data generators, and the random query generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import build_dblp_database, sdss_queries, tpch_queries
+from repro.workloads.dblp import DBLP_JOIN_GRAPH
+from repro.workloads.generator import RandomQueryGenerator
+from repro.workloads.imdb import IMDB_JOIN_GRAPH
+from repro.workloads.sdss import SDSS_JOIN_GRAPH
+from repro.workloads.tpch import TPCH_JOIN_GRAPH, build_tpch_database
+
+
+class TestTpch:
+    def test_schema_has_eight_tables(self, tpch_db):
+        assert len(tpch_db.catalog.table_names) == 8
+
+    def test_row_count_ratios(self, tpch_db):
+        orders = tpch_db.row_count("orders")
+        customers = tpch_db.row_count("customer")
+        lineitems = tpch_db.row_count("lineitem")
+        assert orders == pytest.approx(customers * 10, rel=0.2)
+        assert lineitems > orders
+
+    def test_foreign_keys_consistent(self, tpch_db):
+        customer_keys = set(tpch_db.storage.table("customer").column_values("c_custkey"))
+        order_custkeys = set(tpch_db.storage.table("orders").column_values("o_custkey"))
+        assert order_custkeys <= customer_keys
+
+    def test_deterministic_generation(self):
+        first = build_tpch_database(scale=0.0005, seed=3)
+        second = build_tpch_database(scale=0.0005, seed=3)
+        assert list(first.storage.table("orders").scan()) == list(second.storage.table("orders").scan())
+
+    def test_there_are_22_queries(self):
+        queries = tpch_queries()
+        assert len(queries) == 22
+        assert [query.number for query in queries] == list(range(1, 23))
+
+    def test_queries_reference_known_tables(self, tpch_db):
+        known = set(tpch_db.catalog.table_names)
+        for query in tpch_queries():
+            statement = tpch_db.parse(query.sql)
+            for relation in statement.relations:
+                assert relation.name in known
+
+    def test_all_queries_plan(self, tpch_db):
+        for query in tpch_queries():
+            plan = tpch_db.plan(query.sql)
+            assert plan.root.plan_rows >= 1
+
+    def test_join_graph_edges_reference_real_columns(self, tpch_db):
+        for left_table, left_column, right_table, right_column in TPCH_JOIN_GRAPH:
+            assert tpch_db.catalog.table(left_table).has_column(left_column)
+            assert tpch_db.catalog.table(right_table).has_column(right_column)
+
+
+class TestOtherWorkloads:
+    def test_sdss_queries_plan(self, sdss_db):
+        for query in sdss_queries():
+            assert sdss_db.plan(query.sql).root.plan_rows >= 1
+
+    def test_sdss_join_graph_valid(self, sdss_db):
+        for left_table, left_column, right_table, right_column in SDSS_JOIN_GRAPH:
+            assert sdss_db.catalog.table(left_table).has_column(left_column)
+            assert sdss_db.catalog.table(right_table).has_column(right_column)
+
+    def test_imdb_schema_and_indexes(self, imdb_db):
+        assert imdb_db.catalog.has_table("title")
+        assert imdb_db.catalog.indexes_for("cast_info")
+        for left_table, left_column, right_table, right_column in IMDB_JOIN_GRAPH:
+            assert imdb_db.catalog.table(left_table).has_column(left_column)
+            assert imdb_db.catalog.table(right_table).has_column(right_column)
+
+    def test_dblp_example_query_runs(self, dblp_db):
+        from repro.workloads.dblp import EXAMPLE_QUERY
+
+        rows = dblp_db.execute(EXAMPLE_QUERY)
+        assert isinstance(rows, list)
+
+    def test_dblp_foreign_keys(self, dblp_db):
+        publication_keys = set(dblp_db.storage.table("publication").column_values("pub_key"))
+        inproceedings_keys = set(dblp_db.storage.table("inproceedings").column_values("paper_key"))
+        assert inproceedings_keys <= publication_keys
+
+
+class TestRandomQueryGenerator:
+    def test_generates_requested_count(self, imdb_db):
+        generator = RandomQueryGenerator(imdb_db, IMDB_JOIN_GRAPH, seed=5)
+        assert len(generator.generate(25)) == 25
+
+    def test_all_generated_queries_plan_and_execute(self, dblp_db):
+        generator = RandomQueryGenerator(dblp_db, DBLP_JOIN_GRAPH, seed=6)
+        for generated in generator.generate(40):
+            plan = dblp_db.plan(generated.sql)
+            assert plan.root.plan_rows >= 1
+            dblp_db.execute(generated.sql)
+
+    def test_deterministic_given_seed(self, dblp_db):
+        first = [g.sql for g in RandomQueryGenerator(dblp_db, DBLP_JOIN_GRAPH, seed=7).generate(10)]
+        second = [g.sql for g in RandomQueryGenerator(dblp_db, DBLP_JOIN_GRAPH, seed=7).generate(10)]
+        assert first == second
+
+    def test_structural_metadata_matches_sql(self, dblp_db):
+        generator = RandomQueryGenerator(dblp_db, DBLP_JOIN_GRAPH, seed=8)
+        for generated in generator.generate(30):
+            lowered = generated.sql.lower()
+            assert generated.has_group_by == ("group by" in lowered)
+            assert generated.has_limit == ("limit" in lowered)
+            assert generated.distinct == ("select distinct" in lowered)
+            assert len(generated.tables) == generated.join_count + 1
+
+    def test_plan_diversity(self, imdb_db, poem_store, lantern):
+        generator = RandomQueryGenerator(imdb_db, IMDB_JOIN_GRAPH, seed=9)
+        operator_sets = set()
+        for generated in generator.generate(30):
+            tree = lantern.plan_for_sql(imdb_db, generated.sql)
+            operator_sets.add(tuple(tree.operator_names()))
+        assert len(operator_sets) > 10
+
+    def test_empty_join_graph_rejected(self, dblp_db):
+        with pytest.raises(WorkloadError):
+            RandomQueryGenerator(dblp_db, [], seed=1)
