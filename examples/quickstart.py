@@ -3,10 +3,14 @@
 Builds the small DBLP-style teaching database, asks the mini engine for the
 query execution plan of the paper's running example (Example 3.1), and prints
 the three QEP formats learners are shown: the raw EXPLAIN JSON, the visual
-operator tree, and the RULE-LANTERN natural-language description.
+operator tree, and the RULE-LANTERN natural-language description.  A final
+performance section trains a tiny NEURAL-LANTERN and shows the batched +
+cached neural narration path in action.
 
 Run with:  python examples/quickstart.py
 """
+
+import time
 
 from repro.core import Lantern
 from repro.plans.visual import render_visual_tree
@@ -52,6 +56,56 @@ def main() -> None:
     narrator = RuleLantern(lantern.store, poem_source="pg")
     for operator in ("Hash Join", "Seq Scan", "Unique"):
         print(" *", narrator.describe_operator(operator))
+    print()
+
+    performance_section(database, tree)
+
+
+def performance_section(database, tree) -> None:
+    """Performance: batched beam search + the act-signature decode cache.
+
+    NEURAL-LANTERN decodes every neural-bound act of a plan in ONE fused
+    beam-search call (one padded encoder forward, all beams of all acts
+    advancing as a single tensor per timestep), and memoizes the ranked
+    candidates per act signature in an LRU cache.  Because the US-5 policy
+    routes only *frequently repeated* operators to the neural generator, the
+    cache is warm in steady state and narration becomes near-instant — while
+    the exposure-based cycling through beam alternatives (varied wording)
+    survives caching.  Knobs: ``LanternConfig.decode_cache_size`` and
+    ``LanternConfig.decode_cache_enabled``.
+    """
+    from repro.core.lantern import LanternConfig
+    from repro.nlg.neural_lantern import NeuralLantern
+    from repro.nlg.seq2seq import Seq2SeqConfig
+
+    print("=" * 72)
+    print("4. Performance: batched + cached NEURAL-LANTERN narration")
+    print("=" * 72)
+    print("training a tiny QEP2Seq (a few seconds)...")
+    queries = [
+        "SELECT count(*) FROM publication p WHERE p.year > 2010",
+        "SELECT p.title FROM publication p, inproceedings i WHERE i.paper_key = p.pub_key LIMIT 5",
+        "SELECT i.venue, count(*) AS n FROM inproceedings i GROUP BY i.venue",
+    ]
+    neural, _ = NeuralLantern.fit(
+        [(database, queries, "postgresql", "dblp")],
+        config=Seq2SeqConfig(hidden_dim=48, attention_dim=24, seed=1),
+        epochs=18,
+    )
+    facade = Lantern(
+        neural=neural,
+        config=LanternConfig(decode_cache_size=256, decode_cache_enabled=True),
+    )
+    started = time.perf_counter()
+    facade.describe_plan(tree, mode="neural")
+    cold = time.perf_counter() - started
+    started = time.perf_counter()
+    narration = facade.describe_plan(tree, mode="neural")
+    warm = time.perf_counter() - started
+    print(f"first neural narration (cold cache): {cold * 1000:.1f} ms")
+    print(f"repeat neural narration (warm cache): {warm * 1000:.1f} ms")
+    print(f"decode cache stats: {neural.decode_cache.stats()}")
+    print("sample neural step:", narration.steps[0].text)
 
 
 if __name__ == "__main__":

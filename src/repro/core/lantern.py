@@ -11,7 +11,7 @@ boring the learner (the frequency-threshold policy of US 5).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Protocol
 
 from repro.core.acts import Act, align_acts_with_narration, decompose_lot_into_acts
@@ -39,7 +39,18 @@ MODE_AUTO = "auto"
 
 
 class StepTranslator(Protocol):
-    """What a neural generator must provide to plug into the facade."""
+    """What a neural generator must provide to plug into the facade.
+
+    ``translate_step`` is the mandatory per-step hook.  Generators may
+    additionally offer the optional batch hooks honoured by
+    :meth:`Lantern.describe_plan` and :meth:`Lantern.__init__`:
+
+    * ``translate_steps(acts, rule_steps) -> list[str]`` — translate all
+      neural-bound steps of one plan in a single (batched) call;
+    * ``configure_cache(size=..., enabled=...)`` — receive the
+      ``decode_cache_size`` / ``decode_cache_enabled`` knobs of
+      :class:`LanternConfig`.
+    """
 
     def translate_step(self, act: Act, rule_step: NarrationStep) -> str:  # pragma: no cover
         ...
@@ -47,7 +58,18 @@ class StepTranslator(Protocol):
 
 @dataclass
 class LanternConfig:
-    """Behavioural knobs of the facade."""
+    """Behavioural knobs of the facade.
+
+    The two ``decode_cache_*`` knobs are forwarded to the attached neural
+    generator (when it exposes ``configure_cache``): ``decode_cache_size``
+    bounds the LRU act-signature decode cache of
+    :class:`repro.nlg.cache.DecodeCache`, and ``decode_cache_enabled=False``
+    turns caching off entirely (every act is then beam-decoded afresh, e.g.
+    for cold-path benchmarking).  Both default to ``None`` — "leave the
+    generator's own cache configuration alone" — so wrapping an explicitly
+    configured :class:`repro.nlg.neural_lantern.NeuralLantern` never silently
+    overrides its settings.
+    """
 
     #: operator appearance count after which the neural generator takes over
     frequency_threshold: int = 5
@@ -55,6 +77,12 @@ class LanternConfig:
     presentation: str = DOCUMENT_STYLE
     #: seed used when a POOL description must be picked among several
     seed: Optional[int] = 7
+    #: LRU capacity of the neural act-signature decode cache (None = keep
+    #: the generator's current size)
+    decode_cache_size: Optional[int] = None
+    #: whether decoded beam candidates are cached (None = keep the
+    #: generator's current setting)
+    decode_cache_enabled: Optional[bool] = None
 
 
 class Lantern:
@@ -71,6 +99,18 @@ class Lantern:
         self.config = config if config is not None else LanternConfig()
         self._operator_counts: Counter[str] = Counter()
         self._narrators: dict[str, RuleLantern] = {}
+        if (
+            neural is not None
+            and hasattr(neural, "configure_cache")
+            and (
+                self.config.decode_cache_size is not None
+                or self.config.decode_cache_enabled is not None
+            )
+        ):
+            neural.configure_cache(
+                size=self.config.decode_cache_size,
+                enabled=self.config.decode_cache_enabled,
+            )
 
     # ------------------------------------------------------------------
     # plan ingestion
@@ -101,7 +141,14 @@ class Lantern:
     # ------------------------------------------------------------------
 
     def describe_plan(self, tree: OperatorTree, mode: str = MODE_RULE) -> Narration:
-        """Narrate an operator tree using the requested generator."""
+        """Narrate an operator tree using the requested generator.
+
+        In MODE_NEURAL/MODE_AUTO every step routed to the neural generator is
+        collected first and translated in **one batched call** when the
+        generator exposes ``translate_steps`` (one fused encoder forward and
+        beam decode for the whole plan); generators offering only the
+        per-step ``translate_step`` hook keep working unchanged.
+        """
         narrator = self._narrator_for(tree.source)
         narration = narrator.narrate(tree)
         if mode == MODE_RULE or self.neural is None:
@@ -111,31 +158,17 @@ class Lantern:
         acts = align_acts_with_narration(
             decompose_lot_into_acts(narration.lot), narration
         )
-        neural_steps: list[NarrationStep] = []
-        for act, step in zip(acts, narration.steps):
+        neural_bound: list[tuple[int, Act, NarrationStep]] = []
+        for position, (act, step) in enumerate(zip(acts, narration.steps)):
             use_neural = mode == MODE_NEURAL or (
                 mode == MODE_AUTO and self._is_habituated(step)
             )
             if use_neural:
-                text = self.neural.translate_step(act, step)
-                neural_steps.append(
-                    NarrationStep(
-                        index=step.index,
-                        text=text,
-                        operator_names=step.operator_names,
-                        relations=step.relations,
-                        filter_condition=step.filter_condition,
-                        join_condition=step.join_condition,
-                        index_name=step.index_name,
-                        group_keys=step.group_keys,
-                        sort_keys=step.sort_keys,
-                        intermediate=step.intermediate,
-                        is_final=step.is_final,
-                        generator="neural",
-                    )
-                )
-            else:
-                neural_steps.append(step)
+                neural_bound.append((position, act, step))
+        texts = self._translate_neural_steps(neural_bound)
+        neural_steps: list[NarrationStep] = list(narration.steps)
+        for (position, _, step), text in zip(neural_bound, texts):
+            neural_steps[position] = replace(step, text=text, generator="neural")
         self._record_operators(narration)
         return Narration(
             steps=neural_steps,
@@ -158,6 +191,25 @@ class Lantern:
     def render(self, narration: Narration, tree: OperatorTree | None = None, mode: str | None = None) -> str:
         """Render a narration in the configured (or given) presentation mode."""
         return render(narration, tree=tree, mode=mode or self.config.presentation)
+
+    def _translate_neural_steps(
+        self, neural_bound: list[tuple[int, Act, NarrationStep]]
+    ) -> list[str]:
+        """Translate the collected neural-bound steps, batched when possible."""
+        if not neural_bound:
+            return []
+        if hasattr(self.neural, "translate_steps"):
+            texts = self.neural.translate_steps(
+                [act for _, act, _ in neural_bound],
+                [step for _, _, step in neural_bound],
+            )
+            if len(texts) != len(neural_bound):
+                raise NarrationError(
+                    "the neural generator's translate_steps returned "
+                    f"{len(texts)} texts for {len(neural_bound)} steps"
+                )
+            return texts
+        return [self.neural.translate_step(act, step) for _, act, step in neural_bound]
 
     # ------------------------------------------------------------------
     # habituation bookkeeping (the auto-switch policy)

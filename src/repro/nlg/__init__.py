@@ -15,16 +15,20 @@ Sub-packages:
 * :mod:`repro.nlg.training` — training loops with teacher forcing and early
   stopping;
 * :mod:`repro.nlg.metrics` — BLEU, Self-BLEU, and sparse categorical accuracy;
+* :mod:`repro.nlg.cache` — the LRU act-signature decode cache backing
+  NEURAL-LANTERN's interactive response times;
 * :mod:`repro.nlg.neural_lantern` — the NEURAL-LANTERN facade that plugs into
   :class:`repro.core.Lantern`.
 """
 
+from repro.nlg.cache import DecodeCache
 from repro.nlg.metrics import bleu_score, self_bleu, sparse_categorical_accuracy
 from repro.nlg.neural_lantern import NeuralLantern
 from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
 from repro.nlg.vocab import Vocabulary
 
 __all__ = [
+    "DecodeCache",
     "NeuralLantern",
     "QEP2Seq",
     "Seq2SeqConfig",

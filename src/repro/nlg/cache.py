@@ -1,0 +1,146 @@
+"""Act-signature decode cache for NEURAL-LANTERN.
+
+Acts are structural: two plans that filter-then-scan the same way produce the
+*same* tag-abstracted token sequence (``Act.key``), regardless of which
+relations or predicates they mention.  The US-5 frequency-threshold policy
+routes exactly the *frequently repeated* operators to the neural generator, so
+the decoder is asked the same question over and over — a perfect caching
+workload.
+
+:class:`DecodeCache` is an LRU map from the abstracted source-token signature
+(plus beam size) to the full **ranked candidate list** produced by beam
+search.  Caching the whole ranked list — not just the best hypothesis — is
+what keeps the anti-habituation behaviour alive: the generator cycles through
+the surviving beam alternatives on repeated exposures, and those alternatives
+survive a cache hit unchanged.
+
+Hit/miss counters are exposed (:attr:`DecodeCache.hits`,
+:attr:`DecodeCache.misses`, :meth:`DecodeCache.stats`) so benchmarks can
+report cache effectiveness alongside response times.
+
+Keys identify the *question* (act signature + beam width), not the model
+answering it: entries are not invalidated by weight updates, so owners that
+keep training the wrapped model must :meth:`DecodeCache.clear` afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+#: default number of act signatures kept before LRU eviction
+DEFAULT_CACHE_SIZE = 256
+
+#: a cache key: the abstracted source tokens plus the beam size they were
+#: decoded with (different beam sizes yield different ranked lists)
+CacheKey = tuple[tuple[str, ...], int]
+
+
+def make_key(source_tokens: Sequence[str], beam_size: int) -> CacheKey:
+    """Build the canonical cache key for one act decode.
+
+    ``beam_size`` must be the *effective* decode width (callers resolve
+    ``None`` defaults via the model config first) — keying on an unresolved
+    sentinel would alias entries decoded under different widths.
+    """
+    return (tuple(source_tokens), int(beam_size))
+
+
+class DecodeCache:
+    """An LRU cache of ranked beam-search candidate lists.
+
+    Values are stored as tuples of token tuples (immutable), so a cached
+    entry can never be corrupted by a caller mutating the returned lists;
+    :meth:`get` rebuilds fresh ``list[list[str]]`` objects on every hit.
+    """
+
+    def __init__(self, max_size: int = DEFAULT_CACHE_SIZE, enabled: bool = True) -> None:
+        self.max_size = max(int(max_size), 0)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[CacheKey, tuple[tuple[str, ...], ...]] = OrderedDict()
+
+    # -- core operations ---------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[list[list[str]]]:
+        """Ranked candidates for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU position and increments ``hits``;
+        a miss (or a disabled cache) increments ``misses``.
+        """
+        if not self.enabled:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return [list(tokens) for tokens in entry]
+
+    def put(self, key: CacheKey, candidates: Sequence[Sequence[str]]) -> None:
+        """Store the ranked candidate list, evicting the LRU entry if full."""
+        if not self.enabled or self.max_size == 0:
+            return
+        self._entries[key] = tuple(tuple(tokens) for tokens in candidates)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+
+    # -- management --------------------------------------------------------
+
+    def clear(self, reset_counters: bool = True) -> None:
+        """Drop all entries (and, by default, the hit/miss counters)."""
+        self._entries.clear()
+        if reset_counters:
+            self.reset_counters()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters while keeping the cached entries.
+
+        Benchmarks call this between a priming pass and the measured pass so
+        the reported hit rate reflects only the measured (warm) lookups.
+        """
+        self.hits = 0
+        self.misses = 0
+
+    def configure(self, max_size: Optional[int] = None, enabled: Optional[bool] = None) -> None:
+        """Adjust size/enablement in place (used by ``LanternConfig`` wiring)."""
+        if max_size is not None:
+            self.max_size = max(int(max_size), 0)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+        if enabled is not None:
+            self.enabled = bool(enabled)
+            if not self.enabled:
+                self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counters for benchmark reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "max_size": self.max_size,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecodeCache(size={len(self._entries)}/{self.max_size}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

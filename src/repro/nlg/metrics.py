@@ -13,6 +13,61 @@ def _ngram_counts(tokens: Sequence[str], order: int) -> Counter:
     return Counter(tuple(tokens[i : i + order]) for i in range(len(tokens) - order + 1))
 
 
+def _ngram_profile(tokens: Sequence[str], max_order: int) -> list[Counter]:
+    """Per-order n-gram counters for one sample, computed once and reused."""
+    return [_ngram_counts(tokens, order) for order in range(1, max_order + 1)]
+
+
+def _bleu_from_profiles(
+    candidate_length: int,
+    candidate_profile: list[Counter],
+    reference_lengths: Sequence[int],
+    reference_profiles: Sequence[list[Counter]],
+    max_order: int = 4,
+    smooth: bool = True,
+) -> float:
+    """BLEU core over precomputed n-gram profiles.
+
+    Same arithmetic as :func:`bleu_score`, but the n-gram extraction is the
+    caller's responsibility — :func:`self_bleu` extracts each sample's
+    counters exactly once instead of once per candidate/reference pairing.
+    """
+    if not candidate_length or not reference_lengths:
+        return 0.0
+    # for sentences shorter than max_order, only the realizable n-gram orders
+    # contribute (otherwise an identical short candidate would be penalized)
+    effective_order = max(1, min(max_order, candidate_length))
+    precisions: list[float] = []
+    for order in range(1, effective_order + 1):
+        candidate_counts = candidate_profile[order - 1]
+        if not candidate_counts:
+            precisions.append(1e-9)
+            continue
+        max_reference_counts: Counter = Counter()
+        for reference_profile in reference_profiles:
+            for ngram, count in reference_profile[order - 1].items():
+                max_reference_counts[ngram] = max(max_reference_counts[ngram], count)
+        overlap = sum(
+            min(count, max_reference_counts.get(ngram, 0))
+            for ngram, count in candidate_counts.items()
+        )
+        total = sum(candidate_counts.values())
+        if smooth and order > 1:
+            precisions.append((overlap + 1.0) / (total + 1.0))
+        else:
+            precisions.append(overlap / total if total else 1e-9)
+    if min(precisions) <= 0:
+        return 0.0
+    log_precision = sum(math.log(precision) for precision in precisions) / effective_order
+    reference_length = min(
+        reference_lengths, key=lambda length: abs(length - candidate_length)
+    )
+    brevity = 1.0
+    if candidate_length < reference_length:
+        brevity = math.exp(1.0 - reference_length / max(candidate_length, 1))
+    return 100.0 * brevity * math.exp(log_precision)
+
+
 def bleu_score(
     candidate: Sequence[str],
     references: Sequence[Sequence[str]],
@@ -29,38 +84,14 @@ def bleu_score(
     references = [list(reference) for reference in references]
     if not candidate or not references:
         return 0.0
-    # for sentences shorter than max_order, only the realizable n-gram orders
-    # contribute (otherwise an identical short candidate would be penalized)
-    effective_order = max(1, min(max_order, len(candidate)))
-    precisions: list[float] = []
-    for order in range(1, effective_order + 1):
-        candidate_counts = _ngram_counts(candidate, order)
-        if not candidate_counts:
-            precisions.append(1e-9)
-            continue
-        max_reference_counts: Counter = Counter()
-        for reference in references:
-            reference_counts = _ngram_counts(reference, order)
-            for ngram, count in reference_counts.items():
-                max_reference_counts[ngram] = max(max_reference_counts[ngram], count)
-        overlap = sum(
-            min(count, max_reference_counts.get(ngram, 0))
-            for ngram, count in candidate_counts.items()
-        )
-        total = sum(candidate_counts.values())
-        if smooth and order > 1:
-            precisions.append((overlap + 1.0) / (total + 1.0))
-        else:
-            precisions.append(overlap / total if total else 1e-9)
-    if min(precisions) <= 0:
-        return 0.0
-    log_precision = sum(math.log(precision) for precision in precisions) / effective_order
-    closest_reference = min(references, key=lambda reference: abs(len(reference) - len(candidate)))
-    reference_length = len(closest_reference)
-    brevity = 1.0
-    if len(candidate) < reference_length:
-        brevity = math.exp(1.0 - reference_length / max(len(candidate), 1))
-    return 100.0 * brevity * math.exp(log_precision)
+    return _bleu_from_profiles(
+        len(candidate),
+        _ngram_profile(candidate, max_order),
+        [len(reference) for reference in references],
+        [_ngram_profile(reference, max_order) for reference in references],
+        max_order=max_order,
+        smooth=smooth,
+    )
 
 
 def corpus_bleu(
@@ -88,10 +119,27 @@ def self_bleu(samples: Sequence[Sequence[str]], max_order: int = 4) -> float:
     samples = [list(sample) for sample in samples]
     if len(samples) <= 1:
         return 1.0
+    # each sample's per-order n-gram counters are extracted once and reused
+    # in every candidate/reference pairing (previously recomputed O(n²) times)
+    lengths = [len(sample) for sample in samples]
+    profiles = [_ngram_profile(sample, max_order) for sample in samples]
     scores = []
     for index, candidate in enumerate(samples):
-        references = [sample for position, sample in enumerate(samples) if position != index]
-        scores.append(bleu_score(candidate, references, max_order=max_order) / 100.0)
+        if not candidate:
+            scores.append(0.0)
+            continue
+        reference_lengths = lengths[:index] + lengths[index + 1 :]
+        reference_profiles = profiles[:index] + profiles[index + 1 :]
+        scores.append(
+            _bleu_from_profiles(
+                lengths[index],
+                profiles[index],
+                reference_lengths,
+                reference_profiles,
+                max_order=max_order,
+            )
+            / 100.0
+        )
     return float(np.mean(scores))
 
 

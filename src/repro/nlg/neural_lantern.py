@@ -6,6 +6,19 @@ the act, decodes an abstracted sentence with beam search, and restores the
 Table 1 tags from the corresponding rule-generated step, so that relation
 names, predicates and intermediate-result identifiers stay exact while the
 wording varies.
+
+Two mechanisms keep response times interactive at scale (the Table 6
+bottleneck):
+
+* **Plan-level batching** — :meth:`NeuralLantern.translate_steps` translates
+  every neural-bound act of a plan in one call, encoding all acts in a single
+  padded encoder forward and decoding all their beams as one fused tensor
+  (:meth:`repro.nlg.seq2seq.QEP2Seq.beam_decode_batch`).
+* **Act-signature caching** — ranked beam candidates are memoized in an LRU
+  :class:`repro.nlg.cache.DecodeCache` keyed on the tag-abstracted act token
+  sequence.  Because the *entire ranked list* is cached, the exposure-based
+  cycling through beam alternatives (wording variability) survives cache
+  hits unchanged.
 """
 
 from __future__ import annotations
@@ -13,13 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.core.acts import Act
 from repro.core.narration import NarrationStep
 from repro.errors import NLGError
+from repro.nlg.cache import DEFAULT_CACHE_SIZE, DecodeCache, make_key
 from repro.nlg.dataset import TrainingDataset, abstract_step, build_dataset
-from repro.nlg.embeddings.registry import EMBEDDING_DIMENSIONS, build_embedding_matrix
+from repro.nlg.embeddings.registry import build_embedding_matrix
 from repro.nlg.metrics import corpus_bleu
 from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
 from repro.nlg.tokenizer import detokenize, tokenize
@@ -36,18 +48,27 @@ class NeuralLanternResult:
 
 
 class NeuralLantern:
-    """The trained neural generator."""
+    """The trained neural generator.
+
+    The decode cache is keyed on (act signature, beam size) only — it does
+    not observe the model's weights.  If you continue training the wrapped
+    model after generating narrations, call ``self.decode_cache.clear()`` so
+    stale pre-training candidates are not served.
+    """
 
     def __init__(
         self,
         model: QEP2Seq,
         dataset: Optional[TrainingDataset] = None,
         beam_size: Optional[int] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_enabled: bool = True,
     ) -> None:
         self.model = model
         self.dataset = dataset
         self.beam_size = beam_size
         self._act_exposure: dict[str, int] = {}
+        self.decode_cache = DecodeCache(max_size=cache_size, enabled=cache_enabled)
 
     # ------------------------------------------------------------------
     # construction / training
@@ -92,6 +113,37 @@ class NeuralLantern:
         return cls(model, dataset=dataset), NeuralLanternResult(history=history, dataset=dataset)
 
     # ------------------------------------------------------------------
+    # caching
+    # ------------------------------------------------------------------
+
+    def configure_cache(
+        self, size: Optional[int] = None, enabled: Optional[bool] = None
+    ) -> None:
+        """Adjust the decode cache (wired from ``LanternConfig`` knobs)."""
+        self.decode_cache.configure(max_size=size, enabled=enabled)
+
+    def _effective_beam_size(self) -> int:
+        """The beam size actually used to decode (and to key the cache).
+
+        Resolving ``None`` → the model's configured default *before* keying
+        means ``NeuralLantern(model)`` and ``NeuralLantern(model,
+        beam_size=model.config.beam_size)`` share cache entries, and a later
+        change to ``model.config.beam_size`` can never serve stale candidate
+        lists decoded under the old width.
+        """
+        return self.beam_size or self.model.config.beam_size
+
+    def _ranked_candidates(self, source_tokens: list[str], beam_size: int) -> list[list[str]]:
+        """Cached ranked beam candidates for one act signature."""
+        key = make_key(source_tokens, beam_size)
+        cached = self.decode_cache.get(key)
+        if cached is not None:
+            return cached
+        candidates = self.model.beam_decode_candidates(source_tokens, beam_size=beam_size)
+        self.decode_cache.put(key, candidates)
+        return candidates
+
+    # ------------------------------------------------------------------
     # generation
     # ------------------------------------------------------------------
 
@@ -102,7 +154,10 @@ class NeuralLantern:
         cycle through the surviving beam hypotheses, so repeated operators are
         described with varied wording (the anti-habituation behaviour of §6).
         """
-        candidates = self.model.beam_decode_candidates(act.input_tokens(), beam_size=self.beam_size)
+        candidates = self._ranked_candidates(act.input_tokens(), self._effective_beam_size())
+        return self._pick_candidate(act, candidates)
+
+    def _pick_candidate(self, act: Act, candidates: list[list[str]]) -> str:
         candidates = [tokens for tokens in candidates if tokens]
         if not candidates:
             raise NLGError("the decoder produced an empty description")
@@ -116,7 +171,52 @@ class NeuralLantern:
         Decodes an abstracted sentence and restores the concrete values
         (relations, conditions, identifiers) recorded in the rule step.
         """
-        abstracted = self.generate_abstracted(act)
+        return self._finalize(self.generate_abstracted(act), rule_step)
+
+    def translate_steps(
+        self, acts: Sequence[Act], rule_steps: Sequence[NarrationStep]
+    ) -> list[str]:
+        """Translate all neural-bound acts of a plan in one batched call.
+
+        Cache lookups run first; the remaining *distinct* act signatures are
+        decoded together through :meth:`QEP2Seq.beam_decode_batch` (one padded
+        encoder forward, one fused beam tensor) and inserted into the cache.
+        Exposure cycling and tag restoration then proceed per step exactly as
+        in :meth:`translate_step`, so the output text is identical to calling
+        the per-step hook in a loop.
+        """
+        if len(acts) != len(rule_steps):
+            raise NLGError("translate_steps needs one rule step per act")
+        beam_size = self._effective_beam_size()
+        sources = [act.input_tokens() for act in acts]
+        keys = [make_key(source, beam_size) for source in sources]
+        resolved: dict = {}
+        pending_keys: list = []
+        pending_sources: list[list[str]] = []
+        # every per-act signature is looked up through the cache, so the
+        # hit/miss counters reflect exactly the lookups the cache served:
+        # in-plan duplicates of a still-pending decode count as misses (they
+        # are served by the in-call dedup below, not by the cache)
+        for key, source in zip(keys, sources):
+            cached = self.decode_cache.get(key)
+            if cached is not None:
+                resolved[key] = cached
+            elif key not in resolved:
+                resolved[key] = None
+                pending_keys.append(key)
+                pending_sources.append(source)
+        if pending_sources:
+            decoded = self.model.beam_decode_batch(pending_sources, beam_size=beam_size)
+            for key, candidates in zip(pending_keys, decoded):
+                self.decode_cache.put(key, candidates)
+                resolved[key] = candidates
+        return [
+            self._finalize(self._pick_candidate(act, resolved[key]), rule_step)
+            for act, rule_step, key in zip(acts, rule_steps, keys)
+        ]
+
+    def _finalize(self, abstracted: str, rule_step: NarrationStep) -> str:
+        """Restore concrete values into an abstracted sentence and punctuate."""
         _, mapping = abstract_step(rule_step)
         restored = restore_step_text(abstracted, mapping)
         restored = self._fill_unresolved_tags(restored, rule_step)
@@ -152,12 +252,15 @@ class NeuralLantern:
 
     def test_bleu(self, samples, beam_size: Optional[int] = None) -> float:
         """Corpus BLEU of decoded outputs against ground-truth target tokens."""
-        candidates = []
-        references = []
-        for sample in samples:
-            decoded = self.model.beam_decode(sample.source_tokens, beam_size=beam_size or self.beam_size)
-            candidates.append(decoded)
-            references.append(sample.target_tokens)
+        samples = list(samples)
+        if not samples:
+            return 0.0
+        ranked = self.model.beam_decode_batch(
+            [sample.source_tokens for sample in samples],
+            beam_size=beam_size or self.beam_size,
+        )
+        candidates = [candidate_list[0] for candidate_list in ranked]
+        references = [sample.target_tokens for sample in samples]
         return corpus_bleu(candidates, references)
 
     def token_error_profile(
@@ -177,10 +280,17 @@ class NeuralLantern:
         from repro.nlg.metrics import token_error_count
         from repro.nlg.paraphrase import ParaphraseEngine
 
+        samples = list(samples)
         engine = ParaphraseEngine() if allow_paraphrases else None
         profile = {"correct": 0, "one_wrong_token": 0, "several_wrong_tokens": 0}
-        for sample in samples:
-            decoded = self.model.beam_decode(sample.source_tokens, beam_size=beam_size or self.beam_size)
+        if not samples:
+            return profile
+        ranked = self.model.beam_decode_batch(
+            [sample.source_tokens for sample in samples],
+            beam_size=beam_size or self.beam_size,
+        )
+        for sample, candidate_list in zip(samples, ranked):
+            decoded = candidate_list[0]
             references = [sample.target_tokens]
             if engine is not None:
                 references.extend(

@@ -31,6 +31,29 @@ class AdditiveAttention:
         self.weight_encoder = Parameter.uniform((encoder_dim, attention_dim), rng, name="attention.weight_encoder")
         self.score_vector = Parameter.uniform((attention_dim,), rng, name="attention.score_vector")
 
+    def _score_and_mix(
+        self,
+        decoder_state: np.ndarray,
+        encoder_states: np.ndarray,
+        projected_encoder: np.ndarray,
+        mask: Optional[np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The shared additive-score / softmax / weighted-sum pipeline.
+
+        Both :meth:`forward` (training, with cache) and :meth:`step_context`
+        (decoding, cache-free) go through this single implementation, so the
+        two paths can never diverge numerically.  Returns
+        (context (B, He), weights (B, T), scores_tanh (B, T, A)).
+        """
+        projected_decoder = decoder_state @ self.weight_decoder.value  # (B, A)
+        scores_tanh = np.tanh(projected_encoder + projected_decoder[:, None, :])  # (B, T, A)
+        scores = scores_tanh @ self.score_vector.value  # (B, T)
+        if mask is not None:
+            scores = np.where(mask > 0, scores, -1e9)
+        weights = softmax(scores, axis=1)
+        context = np.einsum("bt,bth->bh", weights, encoder_states)
+        return context, weights, scores_tanh
+
     def forward(
         self,
         decoder_state: np.ndarray,
@@ -42,14 +65,9 @@ class AdditiveAttention:
         ``decoder_state`` (B, Hd); ``encoder_states`` (B, T, He); ``mask`` (B, T).
         Returns (context (B, He), weights (B, T), cache).
         """
-        projected_decoder = decoder_state @ self.weight_decoder.value  # (B, A)
-        projected_encoder = encoder_states @ self.weight_encoder.value  # (B, T, A)
-        scores_tanh = np.tanh(projected_encoder + projected_decoder[:, None, :])  # (B, T, A)
-        scores = scores_tanh @ self.score_vector.value  # (B, T)
-        if mask is not None:
-            scores = np.where(mask > 0, scores, -1e9)
-        weights = softmax(scores, axis=1)
-        context = np.einsum("bt,bth->bh", weights, encoder_states)
+        context, weights, scores_tanh = self._score_and_mix(
+            decoder_state, encoder_states, self.project_encoder(encoder_states), mask
+        )
         cache = AttentionCache(
             decoder_state=decoder_state,
             encoder_states=encoder_states,
@@ -59,6 +77,34 @@ class AdditiveAttention:
             context=context,
         )
         return context, weights, cache
+
+    def project_encoder(self, encoder_states: np.ndarray) -> np.ndarray:
+        """Precompute ``W_h h_i`` for every encoder state, shape (B, T, A).
+
+        The encoder-side projection does not depend on the decoder state, so
+        beam search computes it once per act and reuses it at every decoding
+        timestep instead of redoing the (B, T, He) @ (He, A) matmul per step.
+        """
+        return encoder_states @ self.weight_encoder.value
+
+    def step_context(
+        self,
+        decoder_state: np.ndarray,
+        encoder_states: np.ndarray,
+        projected_encoder: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Inference-only context vector with a precomputed encoder projection.
+
+        The same :meth:`_score_and_mix` pipeline as :meth:`forward`, but it
+        builds no backward cache and skips the per-step encoder projection.
+        ``decoder_state`` (B, Hd), ``encoder_states`` / ``projected_encoder``
+        (B, T, ·), ``mask`` (B, T).
+        """
+        context, _, _ = self._score_and_mix(
+            decoder_state, encoder_states, projected_encoder, mask
+        )
+        return context
 
     def backward(
         self,

@@ -84,6 +84,16 @@ class Embedding:
     def forward(self, token_ids: np.ndarray) -> np.ndarray:
         return self.table.value[token_ids]
 
+    def lookup(self, token_ids: np.ndarray) -> np.ndarray:
+        """Inference-time row gather for a flat id vector, shape (M,) → (M, D).
+
+        Beam search feeds the last emitted token of every live beam through
+        this in one call per timestep (the fused (M, D) decoder input) rather
+        than one batch-1 ``forward`` per beam.  Delegates to :meth:`forward`
+        so the training and inference gathers can never diverge.
+        """
+        return self.forward(np.asarray(token_ids, dtype=np.int64))
+
     def backward(self, token_ids: np.ndarray, grad_output: np.ndarray) -> None:
         if not self.trainable:
             return

@@ -55,14 +55,15 @@ class LSTM:
     # forward
     # ------------------------------------------------------------------
 
-    def step(
-        self,
-        x: np.ndarray,
-        h_prev: np.ndarray,
-        c_prev: np.ndarray,
-        mask: Optional[np.ndarray] = None,
-    ) -> tuple[np.ndarray, np.ndarray, LSTMStepCache]:
-        """One time step for a batch: returns (h, c, cache)."""
+    def _gates(
+        self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The shared gate equations: returns (h, c, i, f, o, g).
+
+        Both :meth:`step` (training, with cache) and :meth:`step_infer`
+        (decoding, cache-free) go through this single implementation, so the
+        two paths can never diverge numerically.
+        """
         hidden = self.hidden_dim
         pre = x @ self.weight_x.value + h_prev @ self.weight_h.value + self.bias.value
         i = sigmoid(pre[:, :hidden])
@@ -71,6 +72,17 @@ class LSTM:
         g = tanh(pre[:, 3 * hidden :])
         c = i * g + f * c_prev
         h = o * np.tanh(c)
+        return h, c, i, f, o, g
+
+    def step(
+        self,
+        x: np.ndarray,
+        h_prev: np.ndarray,
+        c_prev: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray, LSTMStepCache]:
+        """One time step for a batch: returns (h, c, cache)."""
+        h, c, i, f, o, g = self._gates(x, h_prev, c_prev)
         if mask is not None:
             keep = mask[:, None]
             h = keep * h + (1.0 - keep) * h_prev
@@ -80,6 +92,22 @@ class LSTM:
             gates=np.concatenate([i, f, o, g], axis=1), c=c, h=h, mask=mask,
         )
         return h, c, cache
+
+    def step_infer(
+        self,
+        x: np.ndarray,
+        h_prev: np.ndarray,
+        c_prev: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One inference-only time step: (h, c) without a backward cache.
+
+        The same :meth:`_gates` math as :meth:`step` but no
+        :class:`LSTMStepCache` allocation — this is what the batched
+        beam-search decoder calls once per timestep for all live beams at
+        once (a ``(K, H)`` state matrix instead of K batch-1 calls).
+        """
+        h, c, _, _, _, _ = self._gates(x, h_prev, c_prev)
+        return h, c
 
     def forward(
         self,

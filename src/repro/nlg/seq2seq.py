@@ -5,6 +5,17 @@ tags); the decoder LSTM — whose word embeddings may be initialized from
 pre-trained vectors — generates the description token by token, attending
 over the encoder states.  Training uses teacher forcing and plain SGD;
 inference uses beam search.
+
+Beam search is *batched* on two axes.  Within one act, all K live beams
+advance through a single (K, H) decoder step, one attention call, and one
+output-projection matmul per timestep (:meth:`QEP2Seq.beam_decode_candidates`).
+Across a plan, :meth:`QEP2Seq.beam_decode_batch` pads every act of the plan
+into one encoder forward and decodes all acts' beams as one fused tensor,
+which is what makes NEURAL-LANTERN response times interactive (Table 6).
+Both paths are guaranteed to emit token-for-token the same output as the
+unbatched reference decoder (kept as
+:meth:`QEP2Seq.beam_decode_candidates_sequential`); finished beams are simply
+dropped from the fused batch instead of being masked-and-recomputed.
 """
 
 from __future__ import annotations
@@ -155,25 +166,11 @@ class QEP2Seq:
         input_ids = [
             [self.output_vocabulary.bos_id] + ids[:-1] for ids in target_ids
         ]
-        source_length = max(len(ids) for ids in encoder_ids)
-        target_length = max(len(ids) for ids in target_ids)
-        batch_size = len(sources)
-
-        def pad(rows: list[list[int]], length: int, pad_id: int) -> np.ndarray:
-            array = np.full((batch_size, length), pad_id, dtype=np.int64)
-            for index, row in enumerate(rows):
-                array[index, : len(row)] = row
-            return array
-
-        encoder_matrix = pad(encoder_ids, source_length, self.input_vocabulary.pad_id)
-        encoder_mask = np.zeros((batch_size, source_length))
-        for index, row in enumerate(encoder_ids):
-            encoder_mask[index, : len(row)] = 1.0
-        decoder_inputs = pad(input_ids, target_length, self.output_vocabulary.pad_id)
-        decoder_targets = pad(target_ids, target_length, self.output_vocabulary.pad_id)
-        decoder_mask = np.zeros((batch_size, target_length))
-        for index, row in enumerate(target_ids):
-            decoder_mask[index, : len(row)] = 1.0
+        encoder_matrix, encoder_mask = _pad_and_mask(encoder_ids, self.input_vocabulary.pad_id)
+        decoder_targets, decoder_mask = _pad_and_mask(target_ids, self.output_vocabulary.pad_id)
+        # input rows mirror target rows one-for-one in length, so they pad to
+        # the same width and share the targets' mask
+        decoder_inputs, _ = _pad_and_mask(input_ids, self.output_vocabulary.pad_id)
         return Batch(encoder_matrix, encoder_mask, decoder_inputs, decoder_targets, decoder_mask)
 
     # ------------------------------------------------------------------
@@ -270,6 +267,20 @@ class QEP2Seq:
         outputs, final_h, final_c, _ = self.encoder.forward(embedded, mask=mask)
         return outputs, mask, final_h, final_c
 
+    def _encode_batch(self, sources: list[list[str]]):
+        """Pad and encode many acts in one encoder forward.
+
+        Returns (encoder outputs (N, T, H), precomputed attention projection
+        (N, T, A), mask (N, T), final h (N, H), final c (N, H)).  Post-padding
+        plus the LSTM step mask means the final states are identical to those
+        of each act encoded alone.
+        """
+        ids_list = [self.input_vocabulary.encode(tokens) for tokens in sources]
+        ids, mask = _pad_and_mask(ids_list, self.input_vocabulary.pad_id)
+        embedded = self.encoder_embedding.forward(ids)
+        outputs, final_h, final_c, _ = self.encoder.forward(embedded, mask=mask)
+        return outputs, self.attention.project_encoder(outputs), mask, final_h, final_c
+
     def greedy_decode(self, source_tokens: list[str]) -> list[str]:
         """Greedy (beam size 1) decoding, mostly used in tests."""
         return self.beam_decode(source_tokens, beam_size=1)
@@ -284,7 +295,111 @@ class QEP2Seq:
         """All surviving beam hypotheses, best first.
 
         NEURAL-LANTERN cycles through these alternatives when the same act
-        recurs, which is how wording variability reaches the learner.
+        recurs, which is how wording variability reaches the learner.  All K
+        live beams advance through one fused decoder/attention/projection
+        step per timestep (see :meth:`beam_decode_batch`).
+        """
+        return self.beam_decode_batch([source_tokens], beam_size=beam_size)[0]
+
+    def beam_decode_batch(
+        self, sources: list[list[str]], beam_size: Optional[int] = None
+    ) -> list[list[list[str]]]:
+        """Decode many acts at once; returns one ranked candidate list per act.
+
+        All acts are padded and encoded in a single encoder forward, then
+        every live beam of every act advances as one row of a fused (M, H)
+        decoder step — M shrinks as beams finish and acts complete.  Output
+        is token-for-token identical to calling
+        :meth:`beam_decode_candidates_sequential` per act.
+        """
+        if not sources:
+            return []
+        beam_size = beam_size or self.config.beam_size
+        encoder_outputs, projected_encoder, mask, h0, c0 = self._encode_batch(sources)
+        end_id = self.output_vocabulary.end_id
+        bos_id = self.output_vocabulary.bos_id
+        count = len(sources)
+        # per act: (score, token ids, h row, c row, finished) — same beam
+        # tuple layout as the sequential reference decoder
+        beams_per_act: list[list[tuple[float, list[int], np.ndarray, np.ndarray, bool]]] = [
+            [(0.0, [bos_id], h0[n], c0[n], False)] for n in range(count)
+        ]
+        # encoder-side gathers are reused while the set of live rows is
+        # stable (it only changes when beams fork or finish), so the fancy
+        # indexing below is not repeated on every timestep
+        gathered_key: Optional[tuple[int, ...]] = None
+        gathered_outputs = gathered_projected = gathered_mask = None
+        for _ in range(self.config.max_decode_length):
+            rows = [
+                (n, b)
+                for n in range(count)
+                for b, beam in enumerate(beams_per_act[n])
+                if not beam[4]
+            ]
+            if not rows:
+                break
+            last_ids = np.array(
+                [beams_per_act[n][b][1][-1] for n, b in rows], dtype=np.int64
+            )
+            h_prev = np.stack([beams_per_act[n][b][2] for n, b in rows])
+            c_prev = np.stack([beams_per_act[n][b][3] for n, b in rows])
+            act_ids = tuple(n for n, _ in rows)
+            if act_ids != gathered_key:
+                indices = np.array(act_ids)
+                gathered_outputs = encoder_outputs[indices]
+                gathered_projected = projected_encoder[indices]
+                gathered_mask = mask[indices]
+                gathered_key = act_ids
+            embedded = self.decoder_embedding.lookup(last_ids)
+            new_h, new_c = self.decoder.step_infer(embedded, h_prev, c_prev)
+            context = self.attention.step_context(
+                new_h,
+                gathered_outputs,
+                gathered_projected,
+                mask=gathered_mask,
+            )
+            logits = self.output_layer.forward(np.concatenate([new_h, context], axis=1))
+            maxima = logits.max(axis=1, keepdims=True)
+            log_probabilities = logits - (
+                maxima + np.log(np.exp(logits - maxima).sum(axis=1, keepdims=True))
+            )
+            row_index = {pair: m for m, pair in enumerate(rows)}
+            for n in sorted({n for n, _ in rows}):
+                candidates: list[tuple[float, list[int], np.ndarray, np.ndarray, bool]] = []
+                for b, beam in enumerate(beams_per_act[n]):
+                    score, tokens, beam_h, beam_c, finished = beam
+                    if finished:
+                        candidates.append(beam)
+                        continue
+                    m = row_index[(n, b)]
+                    row_log_probabilities = log_probabilities[m]
+                    for token_id in _top_k_ascending(row_log_probabilities, beam_size):
+                        candidates.append(
+                            (
+                                score + float(row_log_probabilities[token_id]),
+                                tokens + [int(token_id)],
+                                new_h[m],
+                                new_c[m],
+                                int(token_id) == end_id,
+                            )
+                        )
+                candidates.sort(key=lambda item: item[0] / max(len(item[1]) - 1, 1), reverse=True)
+                beams_per_act[n] = candidates[:beam_size]
+        results: list[list[list[str]]] = []
+        for beams in beams_per_act:
+            ranked = sorted(beams, key=lambda item: item[0] / max(len(item[1]) - 1, 1), reverse=True)
+            decoded = [self.output_vocabulary.decode(tokens) for _, tokens, _, _, _ in ranked]
+            results.append([tokens for tokens in decoded if tokens] or [decoded[0] if decoded else []])
+        return results
+
+    def beam_decode_candidates_sequential(
+        self, source_tokens: list[str], beam_size: Optional[int] = None
+    ) -> list[list[str]]:
+        """The unbatched reference decoder (one batch-1 step per beam per t).
+
+        Kept as the ground truth for the batching parity tests and for
+        benchmark comparisons; produces exactly the same ranked candidates as
+        :meth:`beam_decode_candidates`.
         """
         beam_size = beam_size or self.config.beam_size
         encoder_outputs, mask, h, c = self._encode_single(source_tokens)
@@ -323,6 +438,22 @@ class QEP2Seq:
         return [tokens for tokens in decoded if tokens] or [decoded[0] if decoded else []]
 
 
+def _pad_and_mask(rows: list[list[int]], pad_id: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pad id rows to the longest row; returns (ids (B, T), mask (B, T)).
+
+    The single padding/mask implementation shared by training batches
+    (:meth:`QEP2Seq.make_batch`) and batched inference encoding
+    (:meth:`QEP2Seq._encode_batch`), so the two can never drift apart.
+    """
+    length = max(len(row) for row in rows)
+    ids = np.full((len(rows), length), pad_id, dtype=np.int64)
+    mask = np.zeros((len(rows), length))
+    for index, row in enumerate(rows):
+        ids[index, : len(row)] = row
+        mask[index, : len(row)] = 1.0
+    return ids, mask
+
+
 def _masked_accuracy(logits: np.ndarray, targets: np.ndarray, mask: np.ndarray) -> float:
     """sparse_categorical_accuracy over unmasked positions."""
     predictions = logits.argmax(axis=-1)
@@ -334,3 +465,16 @@ def _masked_accuracy(logits: np.ndarray, targets: np.ndarray, mask: np.ndarray) 
 def _log_sum_exp(x: np.ndarray) -> float:
     maximum = float(np.max(x))
     return maximum + float(np.log(np.sum(np.exp(x - maximum))))
+
+
+def _top_k_ascending(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k largest values, in ascending value order.
+
+    Equivalent to ``np.argsort(values)[-k:]`` but O(V) via ``argpartition``
+    plus an O(k log k) sort of the selected slice — the beam-search top-k
+    only ever needs the k winners ordered, never the full vocabulary.
+    """
+    if k >= values.size:
+        return np.argsort(values)
+    top = np.argpartition(values, -k)[-k:]
+    return top[np.argsort(values[top])]

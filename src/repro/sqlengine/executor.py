@@ -67,29 +67,10 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _execute_node(self, node: PlanNode) -> list[Row]:
-        handlers = {
-            SEQ_SCAN: self._execute_seq_scan,
-            PARALLEL_SEQ_SCAN: self._execute_seq_scan,
-            INDEX_SCAN: self._execute_index_scan,
-            INDEX_ONLY_SCAN: self._execute_index_scan,
-            BITMAP_HEAP_SCAN: self._execute_seq_scan,
-            HASH_JOIN: self._execute_hash_join,
-            MERGE_JOIN: self._execute_merge_join,
-            NESTED_LOOP: self._execute_nested_loop,
-            HASH: self._execute_passthrough,
-            MATERIALIZE: self._execute_passthrough,
-            GATHER: self._execute_passthrough,
-            SORT: self._execute_sort,
-            AGGREGATE: self._execute_aggregate,
-            GROUP_AGGREGATE: self._execute_aggregate,
-            HASH_AGGREGATE: self._execute_aggregate,
-            UNIQUE: self._execute_unique,
-            LIMIT: self._execute_limit,
-        }
-        handler = handlers.get(node.node_type)
-        if handler is None:
+        handler_name = self._HANDLERS.get(node.node_type)
+        if handler_name is None:
             raise ExecutionError(f"no executor for node type {node.node_type!r}")
-        return handler(node)
+        return getattr(self, handler_name)(node)
 
     # -- scans -----------------------------------------------------------
 
@@ -287,6 +268,29 @@ class Executor:
                 projected[item.output_name(position)] = evaluate(item.expression, row)
             results.append(projected)
         return results
+
+    #: node-type dispatch table, built once at class creation instead of on
+    #: every node visit; method *names* keep the lookup late-bound, so
+    #: subclass overrides and monkeypatches still take effect
+    _HANDLERS = {
+        SEQ_SCAN: "_execute_seq_scan",
+        PARALLEL_SEQ_SCAN: "_execute_seq_scan",
+        INDEX_SCAN: "_execute_index_scan",
+        INDEX_ONLY_SCAN: "_execute_index_scan",
+        BITMAP_HEAP_SCAN: "_execute_seq_scan",
+        HASH_JOIN: "_execute_hash_join",
+        MERGE_JOIN: "_execute_merge_join",
+        NESTED_LOOP: "_execute_nested_loop",
+        HASH: "_execute_passthrough",
+        MATERIALIZE: "_execute_passthrough",
+        GATHER: "_execute_passthrough",
+        SORT: "_execute_sort",
+        AGGREGATE: "_execute_aggregate",
+        GROUP_AGGREGATE: "_execute_aggregate",
+        HASH_AGGREGATE: "_execute_aggregate",
+        UNIQUE: "_execute_unique",
+        LIMIT: "_execute_limit",
+    }
 
 
 def _normalize_comparison(conjunct: BinaryOp):
