@@ -106,6 +106,9 @@ def performance_section(database, tree) -> None:
     print(f"repeat neural narration (warm cache): {warm * 1000:.1f} ms")
     print(f"decode cache stats: {neural.decode_cache.stats()}")
     print("sample neural step:", narration.steps[0].text)
+    print()
+    print("To serve narrations to concurrent clients over HTTP, run")
+    print("`python -m repro.service` (see examples/serve_quickstart.py).")
 
 
 if __name__ == "__main__":

@@ -19,7 +19,10 @@ substrate it depends on:
 * :mod:`repro.workloads` — TPC-H / SDSS / IMDB / DBLP style schemas, data
   generators, and query workloads;
 * :mod:`repro.study` — the simulated learner population used to regenerate
-  the paper's user studies.
+  the paper's user studies;
+* :mod:`repro.service` — LANTERN-SERVE, the concurrent narration service
+  (micro-batching HTTP API, plan-format auto-ingestion, live metrics); run
+  it with ``python -m repro.service``.
 
 Quickstart::
 
@@ -33,11 +36,18 @@ Quickstart::
 """
 
 from repro.core import Lantern, LanternConfig, Narration, RuleLantern
-from repro.plans import OperatorTree, parse_postgres_json, parse_sqlserver_xml
+from repro.plans import (
+    OperatorTree,
+    PlanRegistry,
+    default_registry,
+    parse_mysql_json,
+    parse_postgres_json,
+    parse_sqlserver_xml,
+)
 from repro.pool import PoolSession, build_default_store
 from repro.sqlengine import Database, DataType
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",
@@ -46,9 +56,12 @@ __all__ = [
     "LanternConfig",
     "Narration",
     "OperatorTree",
+    "PlanRegistry",
     "PoolSession",
     "RuleLantern",
     "build_default_store",
+    "default_registry",
+    "parse_mysql_json",
     "parse_postgres_json",
     "parse_sqlserver_xml",
     "__version__",

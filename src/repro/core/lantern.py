@@ -10,32 +10,114 @@ boring the learner (the frequency-threshold policy of US 5).
 
 from __future__ import annotations
 
-from collections import Counter
+import threading
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, replace
-from typing import Optional, Protocol
+from typing import Optional, Protocol, Sequence, Union
 
 from repro.core.acts import Act, align_acts_with_narration, decompose_lot_into_acts
 from repro.core.narration import Narration, NarrationStep
 from repro.core.presentation import DOCUMENT_STYLE, render
 from repro.core.rule_lantern import RuleLantern
 from repro.errors import NarrationError
+from repro.plans.mysql import parse_mysql_json
 from repro.plans.operator_tree import OperatorTree
 from repro.plans.postgres import parse_postgres_json
+from repro.plans.registry import PlanRegistry, default_registry
 from repro.plans.sqlserver import parse_sqlserver_xml
 from repro.pool.catalogs import POSTGRESQL_SOURCE, SQLSERVER_SOURCE, build_default_store
 from repro.pool.poem import PoemStore
 
-#: Mapping from plan provenance to POEM source identifier.
+#: Mapping from plan provenance to POEM source identifier.  MySQL plans are
+#: narrated with the PostgreSQL catalog: the MySQL adapter maps every MySQL
+#: operator onto its direct PostgreSQL analogue (see repro.plans.mysql), so
+#: no separate expert-authored catalog is needed.
 SOURCE_TO_POEM = {
     "postgresql": POSTGRESQL_SOURCE,
     "pg": POSTGRESQL_SOURCE,
     "sqlserver": SQLSERVER_SOURCE,
     "mssql": SQLSERVER_SOURCE,
+    "mysql": POSTGRESQL_SOURCE,
 }
 
 MODE_RULE = "rule"
 MODE_NEURAL = "neural"
 MODE_AUTO = "auto"
+
+
+def _tree_signature(node) -> tuple:
+    """A hashable structural identity for an operator (sub)tree.
+
+    Two trees with the same signature narrate identically under a
+    deterministic (``seed=None``) rule narrator, which is what makes the
+    rule-phase memo sound.  Attribute values are stringified so unhashable
+    values (lists of sort keys, expression objects) key reliably.
+    """
+    return (
+        node.name,
+        tuple(sorted((key, str(value)) for key, value in node.attributes.items())),
+        tuple(_tree_signature(child) for child in node.children),
+    )
+
+
+@dataclass
+class _MemoEntry:
+    """One memoized rule narration (steps + LOT, acts filled lazily)."""
+
+    steps: tuple[NarrationStep, ...]
+    lot: object
+    acts: Optional[list[Act]] = None
+
+
+class _RuleMemo:
+    """A small LRU memo of deterministic rule narrations, keyed on tree
+    structure.  Only consulted when the narrator picks descriptions
+    deterministically (``seed=None``) — with a seeded RNG, wording cycles
+    call to call and memoization would freeze it.  Locked like
+    :class:`repro.nlg.cache.DecodeCache`, because the serving layer reads
+    :meth:`stats` from HTTP handler threads while the batch worker narrates.
+    """
+
+    def __init__(self, max_size: int) -> None:
+        self.max_size = max(int(max_size), 0)
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, _MemoEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def get(self, key: tuple) -> Optional[_MemoEntry]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: tuple, entry: _MemoEntry) -> None:
+        with self._lock:
+            if self.max_size == 0:
+                return
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
 
 
 class StepTranslator(Protocol):
@@ -83,6 +165,14 @@ class LanternConfig:
     #: whether decoded beam candidates are cached (None = keep the
     #: generator's current setting)
     decode_cache_enabled: Optional[bool] = None
+    #: whether identical plan structures reuse their rule narration.
+    #: ``None`` (auto) enables the memo exactly when ``seed is None`` — i.e.
+    #: when rule wording is deterministic and memoization is transparent.
+    #: ``True`` forces it on (freezing the description-cycling a seeded rng
+    #: would otherwise produce); ``False`` disables it.
+    rule_memo_enabled: Optional[bool] = None
+    #: LRU capacity of the rule-narration memo
+    rule_memo_size: int = 512
 
 
 class Lantern:
@@ -93,10 +183,21 @@ class Lantern:
         store: Optional[PoemStore] = None,
         neural: Optional[StepTranslator] = None,
         config: Optional[LanternConfig] = None,
+        registry: Optional[PlanRegistry] = None,
     ) -> None:
         self.store = store if store is not None else build_default_store()
         self.neural = neural
         self.config = config if config is not None else LanternConfig()
+        #: the plan-ingestion registry parse_plan dispatches through; owned
+        #: per instance so callers can register custom formats without
+        #: affecting other facades
+        self.registry = registry if registry is not None else default_registry()
+        memo_enabled = self.config.rule_memo_enabled
+        if memo_enabled is None:
+            memo_enabled = self.config.seed is None
+        self._rule_memo: Optional[_RuleMemo] = (
+            _RuleMemo(self.config.rule_memo_size) if memo_enabled else None
+        )
         self._operator_counts: Counter[str] = Counter()
         self._narrators: dict[str, RuleLantern] = {}
         if (
@@ -116,24 +217,33 @@ class Lantern:
     # plan ingestion
     # ------------------------------------------------------------------
 
-    def parse_plan(self, payload: str, plan_format: str = "postgres-json") -> OperatorTree:
-        """Parse an external plan serialization into an operator tree."""
-        if plan_format in ("postgres-json", "json"):
-            return parse_postgres_json(payload)
-        if plan_format in ("sqlserver-xml", "xml"):
-            return parse_sqlserver_xml(payload)
-        raise NarrationError(f"unknown plan format {plan_format!r}")
+    def parse_plan(self, payload, plan_format: Optional[str] = None) -> OperatorTree:
+        """Ingest a plan payload through the auto-detecting format registry.
+
+        ``payload`` may be serialized text (PostgreSQL EXPLAIN JSON, SQL
+        Server showplan XML, MySQL EXPLAIN JSON, the ``OperatorTree.to_dict``
+        wire format), a decoded JSON object, a mini-engine
+        :class:`~repro.sqlengine.physical.PhysicalPlan`, or an already-parsed
+        :class:`OperatorTree` (returned as-is).  With ``plan_format=None``
+        the registry sniffs the format; a malformed payload raises a
+        structured :class:`~repro.errors.PlanDetectionError` listing every
+        attempted format.
+        """
+        return self.registry.parse(payload, plan_format)
 
     def plan_for_sql(self, database, sql: str, engine: str = "postgresql") -> OperatorTree:
         """EXPLAIN ``sql`` on a mini-engine database and parse the result.
 
         ``engine`` selects which serialization dialect is exercised, so the
-        same query can be narrated "as PostgreSQL" or "as SQL Server".
+        same query can be narrated "as PostgreSQL", "as SQL Server", or "as
+        MySQL".
         """
         if engine in ("postgresql", "pg"):
             return parse_postgres_json(database.explain(sql, output_format="json"))
         if engine in ("sqlserver", "mssql"):
             return parse_sqlserver_xml(database.explain(sql, output_format="xml"))
+        if engine == "mysql":
+            return parse_mysql_json(database.explain(sql, output_format="mysql"))
         raise NarrationError(f"unknown engine {engine!r}")
 
     # ------------------------------------------------------------------
@@ -149,15 +259,124 @@ class Lantern:
         beam decode for the whole plan); generators offering only the
         per-step ``translate_step`` hook keep working unchanged.
         """
+        narration, neural_bound, neural_path = self._prepare_narration(tree, mode)
+        if not neural_path:
+            return narration
+        texts = self._translate_neural_steps(neural_bound)
+        return self._assemble_neural(narration, neural_bound, texts, mode)
+
+    def describe_plans(
+        self,
+        trees: Sequence[OperatorTree],
+        mode: Union[str, Sequence[str]] = MODE_RULE,
+        collect_errors: bool = False,
+    ) -> list[Union[Narration, Exception]]:
+        """Narrate several operator trees with **one fused neural decode**.
+
+        This is the multi-plan generalization of :meth:`describe_plan` that
+        the LANTERN-SERVE micro-batcher drives: the neural-bound steps of
+        every plan in the batch are concatenated (in request order) and
+        translated through a single ``translate_steps`` call — one padded
+        encoder forward and one fused beam tensor for the whole batch, with
+        cross-plan deduplication of repeated act signatures via the decode
+        cache's in-call dedup.  Rule narration, habituation bookkeeping, and
+        exposure-based wording cycling all happen in the same order as an
+        equivalent sequence of :meth:`describe_plan` calls, so the produced
+        narrations are token-identical to one-at-a-time narration.
+
+        ``mode`` is either one mode for every tree or a per-tree sequence.
+        With ``collect_errors=True`` a failing tree contributes its exception
+        to the result list instead of aborting the batch (the serving layer
+        maps those to per-request error responses).
+        """
+        modes = [mode] * len(trees) if isinstance(mode, str) else list(mode)
+        if len(modes) != len(trees):
+            raise NarrationError(
+                f"describe_plans got {len(trees)} trees but {len(modes)} modes"
+            )
+        prepared: list[
+            Union[tuple[Narration, list[tuple[int, Act, NarrationStep]], bool], Exception]
+        ] = []
+        for tree, tree_mode in zip(trees, modes):
+            try:
+                prepared.append(self._prepare_narration(tree, tree_mode))
+            except Exception as error:  # noqa: BLE001 - reported per request
+                if not collect_errors:
+                    raise
+                prepared.append(error)
+        # one fused decode across every neural-bound step of the batch
+        flat: list[tuple[int, Act, NarrationStep]] = []
+        for item in prepared:
+            if not isinstance(item, Exception):
+                flat.extend(item[1])
+        texts = self._translate_neural_steps(flat)
+        results: list[Union[Narration, Exception]] = []
+        cursor = 0
+        for item, tree_mode in zip(prepared, modes):
+            if isinstance(item, Exception):
+                results.append(item)
+                continue
+            narration, neural_bound, neural_path = item
+            if not neural_path:
+                results.append(narration)
+                continue
+            slice_texts = texts[cursor : cursor + len(neural_bound)]
+            cursor += len(neural_bound)
+            results.append(
+                self._assemble_neural(narration, neural_bound, slice_texts, tree_mode)
+            )
+        return results
+
+    def _prepare_narration(
+        self, tree: OperatorTree, mode: str
+    ) -> tuple[Narration, list[tuple[int, Act, NarrationStep]], bool]:
+        """Rule-narrate ``tree`` and decide which steps go neural.
+
+        Returns the rule narration, the neural-bound ``(position, act,
+        step)`` triples, and whether the neural assembly path applies at all
+        (False for MODE_RULE or a facade without a generator).  Habituation
+        is decided *before* this plan's operators are recorded (matching
+        :meth:`describe_plan` semantics), and recording happens here so that
+        in a batch each plan's routing sees the exposure counts of every
+        plan narrated before it — exactly as in sequential calls.
+        """
+        if mode not in (MODE_RULE, MODE_NEURAL, MODE_AUTO):
+            raise NarrationError(f"unknown narration mode {mode!r}")
         narrator = self._narrator_for(tree.source)
-        narration = narrator.narrate(tree)
+        # the rule-phase memo: under a deterministic narrator, plans with the
+        # same structure produce the same steps/LOT/acts, so repeated plan
+        # shapes (the serving steady state) skip rule narration entirely
+        memo_key = None
+        entry = None
+        if self._rule_memo is not None:
+            memo_key = (tree.source, _tree_signature(tree.root))
+            entry = self._rule_memo.get(memo_key)
+        if entry is None:
+            narration = narrator.narrate(tree)
+            if self._rule_memo is not None:
+                entry = _MemoEntry(steps=tuple(narration.steps), lot=narration.lot)
+                self._rule_memo.put(memo_key, entry)
+        else:
+            narration = Narration(
+                steps=list(entry.steps),
+                source=tree.source,
+                query_text=tree.query_text,
+                lot=entry.lot,
+                generator="rule",
+            )
         if mode == MODE_RULE or self.neural is None:
             self._record_operators(narration)
-            return narration
-
-        acts = align_acts_with_narration(
-            decompose_lot_into_acts(narration.lot), narration
-        )
+            return narration, [], False
+        if entry is not None:
+            if entry.acts is None:
+                entry.acts = align_acts_with_narration(
+                    decompose_lot_into_acts(narration.lot), narration
+                )
+            acts = entry.acts
+        else:
+            acts = align_acts_with_narration(
+                decompose_lot_into_acts(narration.lot), narration
+            )
         neural_bound: list[tuple[int, Act, NarrationStep]] = []
         for position, (act, step) in enumerate(zip(acts, narration.steps)):
             use_neural = mode == MODE_NEURAL or (
@@ -165,11 +384,20 @@ class Lantern:
             )
             if use_neural:
                 neural_bound.append((position, act, step))
-        texts = self._translate_neural_steps(neural_bound)
+        self._record_operators(narration)
+        return narration, neural_bound, True
+
+    def _assemble_neural(
+        self,
+        narration: Narration,
+        neural_bound: list[tuple[int, Act, NarrationStep]],
+        texts: Sequence[str],
+        mode: str,
+    ) -> Narration:
+        """Splice translated step texts back into the rule narration."""
         neural_steps: list[NarrationStep] = list(narration.steps)
         for (position, _, step), text in zip(neural_bound, texts):
             neural_steps[position] = replace(step, text=text, generator="neural")
-        self._record_operators(narration)
         return Narration(
             steps=neural_steps,
             source=narration.source,
@@ -218,6 +446,10 @@ class Lantern:
     def reset_session(self) -> None:
         """Forget per-learner operator exposure counts."""
         self._operator_counts.clear()
+
+    def rule_memo_stats(self) -> Optional[dict]:
+        """Hit/miss counters of the rule-phase memo (None when disabled)."""
+        return self._rule_memo.stats() if self._rule_memo is not None else None
 
     def operator_exposure(self, operator_name: str) -> int:
         return self._operator_counts[operator_name.lower()]

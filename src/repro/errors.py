@@ -51,6 +51,32 @@ class NarrationError(ReproError):
     """RULE-LANTERN could not narrate an operator tree."""
 
 
+class PlanDetectionError(NarrationError):
+    """No registered plan format could ingest a payload.
+
+    ``attempted_formats`` lists the registry formats that were tried (in
+    detection order) so callers — notably the LANTERN-SERVE ``/narrate``
+    endpoint, which surfaces them in its 400 response — can tell the client
+    exactly which serializations were considered and why each was rejected.
+    """
+
+    def __init__(self, message: str, attempted_formats: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.attempted_formats: list[str] = list(attempted_formats or [])
+
+
+class ServiceError(ReproError):
+    """Base class for LANTERN-SERVE serving-layer errors."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The narration queue is full — the request was refused (HTTP 429)."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """A narration request was admitted but not answered in time (HTTP 503)."""
+
+
 class NLGError(ReproError):
     """Base class for neural-generation errors (vocabulary, model, decoding)."""
 

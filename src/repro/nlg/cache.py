@@ -21,10 +21,16 @@ report cache effectiveness alongside response times.
 Keys identify the *question* (act signature + beam width), not the model
 answering it: entries are not invalidated by weight updates, so owners that
 keep training the wrapped model must :meth:`DecodeCache.clear` afterwards.
+
+The cache is thread-safe: every operation takes an internal ``RLock``, so a
+single warm cache can be shared by the worker threads of the LANTERN-SERVE
+``ThreadingHTTPServer`` (and by any other concurrent narration pipeline)
+without torn LRU state or lost counter increments.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Sequence
 
@@ -60,6 +66,9 @@ class DecodeCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[CacheKey, tuple[tuple[str, ...], ...]] = OrderedDict()
+        # reentrant so owners can compose operations (e.g. stats() inside a
+        # locked section) without deadlocking on their own lock
+        self._lock = threading.RLock()
 
     # -- core operations ---------------------------------------------------
 
@@ -69,33 +78,36 @@ class DecodeCache:
         A hit refreshes the entry's LRU position and increments ``hits``;
         a miss (or a disabled cache) increments ``misses``.
         """
-        if not self.enabled:
-            self.misses += 1
-            return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return [list(tokens) for tokens in entry]
+        with self._lock:
+            if not self.enabled:
+                self.misses += 1
+                return None
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return [list(tokens) for tokens in entry]
 
     def put(self, key: CacheKey, candidates: Sequence[Sequence[str]]) -> None:
         """Store the ranked candidate list, evicting the LRU entry if full."""
-        if not self.enabled or self.max_size == 0:
-            return
-        self._entries[key] = tuple(tuple(tokens) for tokens in candidates)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if not self.enabled or self.max_size == 0:
+                return
+            self._entries[key] = tuple(tuple(tokens) for tokens in candidates)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
 
     # -- management --------------------------------------------------------
 
     def clear(self, reset_counters: bool = True) -> None:
         """Drop all entries (and, by default, the hit/miss counters)."""
-        self._entries.clear()
-        if reset_counters:
-            self.reset_counters()
+        with self._lock:
+            self._entries.clear()
+            if reset_counters:
+                self.reset_counters()
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters while keeping the cached entries.
@@ -103,41 +115,47 @@ class DecodeCache:
         Benchmarks call this between a priming pass and the measured pass so
         the reported hit rate reflects only the measured (warm) lookups.
         """
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
 
     def configure(self, max_size: Optional[int] = None, enabled: Optional[bool] = None) -> None:
         """Adjust size/enablement in place (used by ``LanternConfig`` wiring)."""
-        if max_size is not None:
-            self.max_size = max(int(max_size), 0)
-            while len(self._entries) > self.max_size:
-                self._entries.popitem(last=False)
-        if enabled is not None:
-            self.enabled = bool(enabled)
-            if not self.enabled:
-                self._entries.clear()
+        with self._lock:
+            if max_size is not None:
+                self.max_size = max(int(max_size), 0)
+                while len(self._entries) > self.max_size:
+                    self._entries.popitem(last=False)
+            if enabled is not None:
+                self.enabled = bool(enabled)
+                if not self.enabled:
+                    self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when untouched)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict[str, float]:
-        """Counters for benchmark reporting."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._entries),
-            "max_size": self.max_size,
-            "hit_rate": self.hit_rate,
-        }
+        """Counters for benchmark reporting (read atomically)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "hit_rate": self.hit_rate,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,20 +1,29 @@
 """Engine-independent representation of query execution plans.
 
 LANTERN consumes QEPs in whatever serialization the RDBMS exposes
-(PostgreSQL JSON, SQL Server showplan XML).  This package parses those
-formats into a single :class:`~repro.plans.operator_tree.OperatorTree`
-abstraction with normalized attributes, which is what the rest of the
-pipeline (POOL catalogs, RULE-LANTERN, act decomposition) operates on.
+(PostgreSQL JSON, SQL Server showplan XML, MySQL EXPLAIN JSON).  This
+package parses those formats into a single
+:class:`~repro.plans.operator_tree.OperatorTree` abstraction with normalized
+attributes, which is what the rest of the pipeline (POOL catalogs,
+RULE-LANTERN, act decomposition) operates on.  The
+:class:`~repro.plans.registry.PlanRegistry` front door auto-detects which
+serialization a payload is in and dispatches to the right parser.
 """
 
+from repro.plans.mysql import parse_mysql_json
 from repro.plans.operator_tree import OperatorNode, OperatorTree
 from repro.plans.postgres import parse_postgres_json, plan_from_database
+from repro.plans.registry import PlanFormat, PlanRegistry, default_registry
 from repro.plans.sqlserver import parse_sqlserver_xml
 from repro.plans.visual import render_visual_tree
 
 __all__ = [
     "OperatorNode",
     "OperatorTree",
+    "PlanFormat",
+    "PlanRegistry",
+    "default_registry",
+    "parse_mysql_json",
     "parse_postgres_json",
     "parse_sqlserver_xml",
     "plan_from_database",

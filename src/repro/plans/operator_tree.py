@@ -111,6 +111,31 @@ class OperatorNode:
             parts.append(f"[{condition}]")
         return " ".join(parts)
 
+    # -- wire serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict of this node (``raw`` is dropped — it may hold
+        engine objects that do not survive serialization)."""
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "estimated_rows": self.estimated_rows,
+            "estimated_cost": self.estimated_cost,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "OperatorNode":
+        if not isinstance(payload, dict) or "name" not in payload:
+            raise ValueError("operator node dict needs at least a 'name' key")
+        return cls(
+            name=payload["name"],
+            attributes=dict(payload.get("attributes", {})),
+            estimated_rows=float(payload.get("estimated_rows", 0.0)),
+            estimated_cost=float(payload.get("estimated_cost", 0.0)),
+            children=[cls.from_dict(child) for child in payload.get("children", [])],
+        )
+
 
 @dataclass
 class OperatorTree:
@@ -149,3 +174,25 @@ class OperatorTree:
 
     def map_nodes(self, function: Callable[[OperatorNode], Any]) -> list[Any]:
         return [function(node) for node in self.walk()]
+
+    # -- wire serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-safe form exchanged with LANTERN-SERVE clients.
+
+        This is the ``operator-tree-json`` wire format of the plan-ingestion
+        registry: a client that already holds a parsed :class:`OperatorTree`
+        can ship it to ``/narrate`` without re-serializing to an engine
+        dialect.
+        """
+        return {"source": self.source, "query_text": self.query_text, "root": self.root.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "OperatorTree":
+        if not isinstance(payload, dict) or not isinstance(payload.get("root"), dict):
+            raise ValueError("operator tree dict needs a 'root' object")
+        return cls(
+            root=OperatorNode.from_dict(payload["root"]),
+            source=payload.get("source", "postgresql"),
+            query_text=payload.get("query_text", ""),
+        )

@@ -1,0 +1,47 @@
+"""LANTERN-SERVE: the concurrent narration service.
+
+The serving layer that exposes LANTERN to many clients at once:
+
+* :mod:`repro.service.server` — a stdlib ``ThreadingHTTPServer`` JSON API
+  (``POST /narrate``, ``GET /metrics``, ``GET /healthz``);
+* :mod:`repro.service.batcher` — the micro-batching request queue that
+  coalesces concurrent narrations into one fused neural decode per batch
+  window, with bounded-queue admission control;
+* :mod:`repro.service.telemetry` — live request/latency/batching/cache
+  metrics behind ``/metrics``;
+* :mod:`repro.service.client` — a small ``urllib`` client.
+
+Run it with ``python -m repro.service`` (see ``--help`` for knobs), or embed
+it::
+
+    from repro.service import LanternService, ServiceConfig
+
+    service = LanternService()          # rule-based narration, all formats
+    host, port = service.start()        # non-blocking; port=0 → ephemeral
+    ...
+    service.stop()
+"""
+
+from repro.service.batcher import BatcherConfig, MicroBatcher
+from repro.service.client import LanternClient, LanternServiceError
+from repro.service.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    LanternService,
+    ServiceConfig,
+    build_service,
+)
+from repro.service.telemetry import ServiceTelemetry
+
+__all__ = [
+    "BatcherConfig",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "LanternClient",
+    "LanternService",
+    "LanternServiceError",
+    "MicroBatcher",
+    "ServiceConfig",
+    "ServiceTelemetry",
+    "build_service",
+]

@@ -1,0 +1,88 @@
+"""``python -m repro.service`` — run LANTERN-SERVE from the command line.
+
+By default the service narrates with RULE-LANTERN only (instant startup).
+``--neural`` trains the tiny DBLP-workload NEURAL-LANTERN first (a minute or
+two of CPU) and attaches it, enabling ``"mode": "neural"``/``"auto"``
+requests and the shared act-signature decode cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT, build_service
+
+
+def _train_demo_neural():
+    """The quickstart-sized neural generator (kept out of import time)."""
+    from repro.nlg.dataset import build_dataset
+    from repro.nlg.neural_lantern import NeuralLantern
+    from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
+    from repro.nlg.training import Trainer
+    from repro.workloads import build_dblp_database
+    from repro.workloads.dblp import DBLP_JOIN_GRAPH
+    from repro.workloads.generator import RandomQueryGenerator
+
+    print("training the demo NEURAL-LANTERN (DBLP workload) ...")
+    db = build_dblp_database(publication_count=300, seed=9)
+    generator = RandomQueryGenerator(db, DBLP_JOIN_GRAPH, seed=9)
+    queries = [generated.sql for generated in generator.generate(25)]
+    dataset = build_dataset([(db, queries, "postgresql", "dblp")], seed=9)
+    config = Seq2SeqConfig(
+        hidden_dim=48, attention_dim=24, learning_rate=0.005, batch_size=8, seed=9
+    )
+    model = QEP2Seq(dataset.input_vocabulary, dataset.output_vocabulary, config)
+    Trainer(model, dataset.train_samples[:220], dataset.validation_samples[:40], seed=9).train(
+        epochs=10, early_stopping_threshold=None
+    )
+    return NeuralLantern(model, dataset=dataset, beam_size=2)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve LANTERN narrations over HTTP with micro-batching.",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST)
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--neural",
+        action="store_true",
+        help="train and attach the demo neural generator (enables mode=neural/auto)",
+    )
+    parser.add_argument(
+        "--max-batch-size", type=int, default=32, help="requests fused per decode"
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=0.0,
+        help="extra coalescing wait once a batch is non-empty (0 = drain-only)",
+    )
+    parser.add_argument(
+        "--max-queue-depth", type=int, default=256, help="admission-control bound (429 beyond)"
+    )
+    args = parser.parse_args(argv)
+
+    lantern = None
+    if args.neural:
+        from repro.core import Lantern, LanternConfig
+
+        # same deterministic serving config LanternService defaults to:
+        # wording independent of arrival order, rule-phase memo active
+        lantern = Lantern(
+            neural=_train_demo_neural(), config=LanternConfig(seed=None)
+        )
+    service = build_service(
+        lantern=lantern,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_queue_depth=args.max_queue_depth,
+    )
+    service.serve_forever()
+
+
+if __name__ == "__main__":
+    main()

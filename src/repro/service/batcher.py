@@ -1,0 +1,191 @@
+"""The micro-batching narration queue at the heart of LANTERN-SERVE.
+
+HTTP handler threads never touch the :class:`~repro.core.lantern.Lantern`
+directly: they :meth:`MicroBatcher.submit` a parsed operator tree and block
+on a per-request event.  A single worker thread drains the queue and drives
+:meth:`Lantern.describe_plans`, so
+
+* concurrent requests are **coalesced into one fused neural decode** per
+  batch (one padded encoder forward and one beam tensor for every
+  neural-bound act of every plan in the window — the cross-plan
+  generalization of PR 1's per-plan batching, including cross-plan act
+  deduplication through the decode cache), and
+* the facade's mutable state (habituation counters, wording-cycle
+  exposures, the POEM narrator cache) is only ever touched from one thread,
+  which is what makes batched narrations **token-identical** to sequential
+  ``describe_plan`` calls in arrival order.
+
+Batches form naturally: the worker takes the first waiting request, then
+drains whatever else queued while the previous batch was decoding (up to
+``max_batch_size``).  An optional ``batch_window_s`` adds a bounded wait to
+coalesce more aggressively under bursty-but-sparse traffic; the default of 0
+adds no latency to an idle service.
+
+Admission control is a bounded queue: when ``max_queue_depth`` requests are
+already waiting, :meth:`submit` raises
+:class:`~repro.errors.ServiceOverloadError` immediately and the HTTP layer
+answers 429 — shedding load beats collapsing under it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.lantern import MODE_RULE, Lantern
+from repro.core.narration import Narration
+from repro.errors import ServiceOverloadError, ServiceTimeoutError
+from repro.plans.operator_tree import OperatorTree
+from repro.service.telemetry import ServiceTelemetry
+
+
+@dataclass
+class BatcherConfig:
+    """Queueing and coalescing knobs."""
+
+    #: largest number of requests fused into one describe_plans call
+    max_batch_size: int = 32
+    #: extra time the worker waits to grow a non-empty batch (0 = drain-only)
+    batch_window_s: float = 0.0
+    #: queued-request bound beyond which submissions are refused (HTTP 429)
+    max_queue_depth: int = 256
+    #: how long a submitter waits for its narration before giving up (503)
+    request_timeout_s: float = 30.0
+
+
+class _PendingRequest:
+    """One submitted narration, owned by the submitting thread."""
+
+    __slots__ = ("tree", "mode", "event", "narration", "error")
+
+    def __init__(self, tree: OperatorTree, mode: str) -> None:
+        self.tree = tree
+        self.mode = mode
+        self.event = threading.Event()
+        self.narration: Optional[Narration] = None
+        self.error: Optional[Exception] = None
+
+
+class MicroBatcher:
+    """Bounded request queue + single narration worker."""
+
+    def __init__(
+        self,
+        lantern: Lantern,
+        config: Optional[BatcherConfig] = None,
+        telemetry: Optional[ServiceTelemetry] = None,
+    ) -> None:
+        self.lantern = lantern
+        self.config = config or BatcherConfig()
+        self.telemetry = telemetry
+        self._queue: queue.Queue[_PendingRequest] = queue.Queue(
+            maxsize=self.config.max_queue_depth
+        )
+        self._worker: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._worker is not None and self._worker.is_alive():
+            return
+        self._stopping.clear()
+        self._worker = threading.Thread(
+            target=self._run, name="lantern-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    def stop(self, drain_timeout_s: float = 5.0) -> None:
+        """Stop the worker after letting queued requests finish."""
+        self._stopping.set()
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=drain_timeout_s)
+        self._worker = None
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # submission (handler-thread side)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, tree: OperatorTree, mode: str = MODE_RULE, timeout_s: Optional[float] = None
+    ) -> Narration:
+        """Enqueue one narration and block until the worker answers it."""
+        if self._worker is None or not self._worker.is_alive():
+            raise ServiceTimeoutError("the narration worker is not running")
+        request = _PendingRequest(tree, mode)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            raise ServiceOverloadError(
+                f"narration queue is full ({self.config.max_queue_depth} waiting); retry later"
+            ) from None
+        timeout = timeout_s if timeout_s is not None else self.config.request_timeout_s
+        if not request.event.wait(timeout):
+            # the worker may still answer later; the submitter has moved on
+            raise ServiceTimeoutError(f"narration not produced within {timeout:.1f}s")
+        if request.error is not None:
+            raise request.error
+        assert request.narration is not None
+        return request.narration
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+
+    def _collect_batch(self) -> list[_PendingRequest]:
+        """Block for the first request, then drain the natural batch."""
+        try:
+            first = self._queue.get(timeout=0.1)
+        except queue.Empty:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.config.batch_window_s
+        while len(batch) < self.config.max_batch_size:
+            try:
+                batch.append(self._queue.get_nowait())
+                continue
+            except queue.Empty:
+                pass
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def _run(self) -> None:
+        while not (self._stopping.is_set() and self._queue.empty()):
+            batch = self._collect_batch()
+            if not batch:
+                continue
+            if self.telemetry is not None:
+                self.telemetry.record_batch(len(batch))
+            try:
+                results = self.lantern.describe_plans(
+                    [request.tree for request in batch],
+                    mode=[request.mode for request in batch],
+                    collect_errors=True,
+                )
+            except Exception as error:  # noqa: BLE001 - fail the whole batch
+                for request in batch:
+                    request.error = error
+                    request.event.set()
+                continue
+            for request, result in zip(batch, results):
+                if isinstance(result, Exception):
+                    request.error = result
+                else:
+                    request.narration = result
+                request.event.set()

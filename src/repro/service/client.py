@@ -1,0 +1,93 @@
+"""A small stdlib client for LANTERN-SERVE.
+
+Wraps ``urllib.request`` so callers (examples, benchmarks, course tooling)
+can talk to the service without handling HTTP details::
+
+    client = LanternClient("http://127.0.0.1:8517")
+    result = client.narrate(explain_json)            # format auto-detected
+    print(result["narration"]["text"])
+
+Non-2xx responses raise :class:`LanternServiceError` carrying the status
+code and the decoded error body (including ``attempted_formats`` on 400s
+from the plan registry).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Optional
+
+from repro.errors import ServiceError
+
+
+class LanternServiceError(ServiceError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, body: dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {body.get('message', body)}")
+        self.status = status
+        self.body = body
+
+
+class LanternClient:
+    """Blocking JSON-over-HTTP client for one LANTERN-SERVE endpoint."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8517", timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def narrate(
+        self,
+        plan: Any,
+        plan_format: Optional[str] = None,
+        mode: Optional[str] = None,
+        presentation: Optional[str] = None,
+    ) -> dict[str, Any]:
+        """POST ``/narrate``; ``plan`` may be serialized text or JSON objects."""
+        body: dict[str, Any] = {"plan": plan}
+        if plan_format is not None:
+            body["format"] = plan_format
+        if mode is not None:
+            body["mode"] = mode
+        if presentation is not None:
+            body["presentation"] = presentation
+        return self._request("POST", "/narrate", body)
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
+        url = self.base_url + path
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                decoded = json.loads(error.read().decode("utf-8"))
+            except Exception:  # noqa: BLE001 - body may not be JSON
+                decoded = {"message": str(error)}
+            raise LanternServiceError(error.code, decoded) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach {url}: {error.reason}") from error

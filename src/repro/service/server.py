@@ -1,0 +1,385 @@
+"""The LANTERN-SERVE HTTP API: ``POST /narrate``, ``GET /metrics``, ``GET /healthz``.
+
+Pure stdlib (:class:`http.server.ThreadingHTTPServer`), so the serving layer
+deploys anywhere the library does.  Handler threads parse and validate
+payloads, then hand the operator tree to the shared
+:class:`~repro.service.batcher.MicroBatcher`; narration itself always runs
+on the batcher's single worker thread, which is what lets concurrent
+requests share one fused neural decode per batch window.
+
+``POST /narrate`` request body (JSON)::
+
+    {
+      "plan": <EXPLAIN JSON | showplan XML string | MySQL EXPLAIN JSON |
+               OperatorTree.to_dict() object>,
+      "format": "postgres-json" | "sqlserver-xml" | "mysql-json" | ...,   # optional
+      "mode": "rule" | "neural" | "auto",                                  # optional
+      "presentation": "document" | "annotated-tree"                        # optional
+    }
+
+Responses: 200 with the narration document, 400 for malformed payloads
+(including the registry's attempted-format list), 429 when the admission
+queue is full, 503 when a narration times out.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from repro.core.lantern import MODE_AUTO, MODE_NEURAL, MODE_RULE, Lantern
+from repro.core.narration import Narration
+from repro.core.presentation import PRESENTATION_MODES
+from repro.errors import (
+    NarrationError,
+    PlanDetectionError,
+    PlanFormatError,
+    ReproError,
+    ServiceOverloadError,
+    ServiceTimeoutError,
+)
+from repro.service.batcher import BatcherConfig, MicroBatcher
+from repro.service.telemetry import ServiceTelemetry
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8517
+
+_MODES = (MODE_RULE, MODE_NEURAL, MODE_AUTO)
+
+#: request body size bound — a QEP serialization has no business being larger
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _HTTPError(Exception):
+    """Internal: carries an HTTP status + JSON body to the handler."""
+
+    def __init__(self, status: int, body: dict[str, Any]) -> None:
+        super().__init__(body.get("message", ""))
+        self.status = status
+        self.body = body
+
+
+@dataclass
+class ServiceConfig:
+    """Everything the serving layer can be tuned with."""
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    #: default narration mode when a request does not name one
+    default_mode: str = MODE_RULE
+    batcher: BatcherConfig = field(default_factory=BatcherConfig)
+
+
+class LanternService:
+    """The servable unit: one Lantern + batcher + telemetry, HTTP-fronted.
+
+    Separate from the HTTP plumbing so tests (and embedders) can call
+    :meth:`narrate_payload` / :meth:`metrics` directly, and so a future
+    transport (async, gRPC, ...) can reuse the whole serving core.
+    """
+
+    def __init__(
+        self,
+        lantern: Optional[Lantern] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        # the serving default narrator is deterministic (seed=None): response
+        # wording then never depends on request arrival order, and the
+        # rule-phase memo kicks in for repeated plan shapes
+        from repro.core.lantern import LanternConfig
+
+        self.lantern = (
+            lantern if lantern is not None else Lantern(config=LanternConfig(seed=None))
+        )
+        self.config = config or ServiceConfig()
+        self.telemetry = ServiceTelemetry()
+        self.batcher = MicroBatcher(
+            self.lantern, config=self.config.batcher, telemetry=self.telemetry
+        )
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # request handling (transport-independent)
+    # ------------------------------------------------------------------
+
+    def narrate_payload(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Validate one ``/narrate`` body, narrate it, shape the response."""
+        if not isinstance(body, dict):
+            raise _HTTPError(
+                400, {"error": "bad_request", "message": "request body must be a JSON object"}
+            )
+        if "plan" not in body:
+            raise _HTTPError(
+                400, {"error": "bad_request", "message": "request body needs a 'plan' key"}
+            )
+        mode = body.get("mode", self.config.default_mode)
+        if mode not in _MODES:
+            raise _HTTPError(
+                400,
+                {
+                    "error": "bad_request",
+                    "message": f"unknown mode {mode!r}; expected one of {list(_MODES)}",
+                },
+            )
+        presentation = body.get("presentation")
+        if presentation is not None and presentation not in PRESENTATION_MODES:
+            raise _HTTPError(
+                400,
+                {
+                    "error": "bad_request",
+                    "message": (
+                        f"unknown presentation {presentation!r}; "
+                        f"expected one of {list(PRESENTATION_MODES)}"
+                    ),
+                },
+            )
+        plan_format = body.get("format")
+        try:
+            tree, resolved_format = self.lantern.registry.ingest(
+                body["plan"], plan_format
+            )
+        except PlanDetectionError as error:
+            raise _HTTPError(
+                400,
+                {
+                    "error": "plan_format",
+                    "message": str(error),
+                    "attempted_formats": error.attempted_formats,
+                },
+            ) from error
+        except PlanFormatError as error:
+            raise _HTTPError(
+                400,
+                {"error": "plan_format", "message": str(error)},
+            ) from error
+
+        started = time.perf_counter()
+        try:
+            narration = self.batcher.submit(tree, mode=mode)
+        except ServiceOverloadError as error:
+            raise _HTTPError(
+                429, {"error": "overloaded", "message": str(error), "retry_after_s": 1}
+            ) from error
+        except ServiceTimeoutError as error:
+            raise _HTTPError(503, {"error": "timeout", "message": str(error)}) from error
+        except NarrationError as error:
+            raise _HTTPError(
+                400, {"error": "narration", "message": str(error)}
+            ) from error
+        latency_s = time.perf_counter() - started
+
+        response: dict[str, Any] = {
+            "narration": _narration_to_dict(narration),
+            "format": resolved_format,
+            "mode": mode,
+            "latency_ms": round(latency_s * 1000.0, 3),
+        }
+        if presentation is not None:
+            response["rendered"] = self.lantern.render(
+                narration, tree=tree, mode=presentation
+            )
+        response["_telemetry"] = {"plan_format": resolved_format, "mode": mode}
+        return response
+
+    def metrics(self) -> dict[str, Any]:
+        cache_stats = None
+        neural = self.lantern.neural
+        if neural is not None and hasattr(neural, "decode_cache"):
+            cache_stats = neural.decode_cache.stats()
+        document = self.telemetry.snapshot(
+            decode_cache_stats=cache_stats, queue_depth=self.batcher.queue_depth
+        )
+        memo_stats = self.lantern.rule_memo_stats()
+        if memo_stats is not None:
+            document["rule_memo"] = memo_stats
+        return document
+
+    def healthz(self) -> dict[str, Any]:
+        worker = self.batcher._worker
+        return {
+            "status": "ok" if (worker is not None and worker.is_alive()) else "degraded",
+            "formats": self.lantern.registry.formats(),
+            "neural_attached": self.lantern.neural is not None,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Start the batcher and the HTTP listener; returns (host, port).
+
+        Pass ``port=0`` in the config to bind an ephemeral port (tests do).
+        """
+        self.batcher.start()
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.config.host, self.config.port), handler)
+        self._httpd.daemon_threads = True
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="lantern-serve-http", daemon=True
+        )
+        self._http_thread.start()
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+            self._http_thread = None
+        self.batcher.stop()
+
+    def serve_forever(self) -> None:
+        """Blocking convenience used by ``python -m repro.service``."""
+        host, port = self.start()
+        print(f"LANTERN-SERVE listening on http://{host}:{port}")
+        print(f"  POST http://{host}:{port}/narrate")
+        print(f"  GET  http://{host}:{port}/metrics")
+        print(f"  GET  http://{host}:{port}/healthz")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            self.stop()
+
+
+def _narration_to_dict(narration: Narration) -> dict[str, Any]:
+    return {
+        "text": narration.text,
+        "generator": narration.generator,
+        "source": narration.source,
+        "query_text": narration.query_text,
+        "steps": [
+            {
+                "index": step.index,
+                "text": step.text,
+                "generator": step.generator,
+                "operator_names": list(step.operator_names),
+                "relations": list(step.relations),
+                "intermediate": step.intermediate,
+                "is_final": step.is_final,
+            }
+            for step in narration.steps
+        ],
+    }
+
+
+def _make_handler(service: LanternService) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "LanternServe/1.0"
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing ----------------------------------------------------
+
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            pass  # telemetry replaces access logs; stderr stays quiet
+
+        def _send_json(self, status: int, body: dict[str, Any]) -> None:
+            payload = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            if status == 429:
+                self.send_header("Retry-After", "1")
+            if self.close_connection:
+                # set when the request body was not (fully) read: the unread
+                # bytes would desync a kept-alive HTTP/1.1 stream, so tell
+                # the client this connection is done
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _read_body(self) -> dict[str, Any]:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            if length <= 0:
+                self.close_connection = True
+                raise _HTTPError(
+                    400, {"error": "bad_request", "message": "missing request body"}
+                )
+            if length > MAX_BODY_BYTES:
+                self.close_connection = True
+                raise _HTTPError(
+                    413,
+                    {
+                        "error": "too_large",
+                        "message": f"request body exceeds {MAX_BODY_BYTES} bytes",
+                    },
+                )
+            raw = self.rfile.read(length)
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise _HTTPError(
+                    400,
+                    {"error": "bad_request", "message": f"invalid JSON body: {error}"},
+                ) from error
+
+        # -- endpoints ---------------------------------------------------
+
+        def do_POST(self) -> None:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path != "/narrate":
+                self.close_connection = True  # request body left unread
+                self._send_json(404, {"error": "not_found", "message": self.path})
+                return
+            started = time.perf_counter()
+            plan_format = mode = None
+            try:
+                body = self._read_body()
+                response = self.narrate(body)
+                telemetry_tags = response.pop("_telemetry", {})
+                plan_format = telemetry_tags.get("plan_format")
+                mode = telemetry_tags.get("mode")
+                status = 200
+                self._send_json(status, response)
+            except _HTTPError as error:
+                status = error.status
+                self._send_json(status, error.body)
+            except ReproError as error:
+                status = 400
+                self._send_json(status, {"error": "narration", "message": str(error)})
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                status = 500
+                self._send_json(
+                    500, {"error": "internal", "message": f"{type(error).__name__}: {error}"}
+                )
+            service.telemetry.record_request(
+                status,
+                time.perf_counter() - started,
+                plan_format=plan_format,
+                mode=mode,
+            )
+
+        def narrate(self, body: dict[str, Any]) -> dict[str, Any]:
+            return service.narrate_payload(body)
+
+        def do_GET(self) -> None:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/metrics":
+                self._send_json(200, service.metrics())
+            elif path == "/healthz":
+                self._send_json(200, service.healthz())
+            else:
+                self._send_json(404, {"error": "not_found", "message": self.path})
+
+    return Handler
+
+
+def build_service(
+    lantern: Optional[Lantern] = None,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    **batcher_knobs: Any,
+) -> LanternService:
+    """Convenience constructor used by ``__main__`` and the tests."""
+    config = ServiceConfig(host=host, port=port, batcher=BatcherConfig(**batcher_knobs))
+    return LanternService(lantern=lantern, config=config)

@@ -1,0 +1,144 @@
+"""Live metrics for LANTERN-SERVE (the ``/metrics`` endpoint's backing store).
+
+One :class:`ServiceTelemetry` instance is shared by the HTTP handler threads
+and the micro-batch worker, so every recorder takes an internal lock.
+Latencies and batch sizes are kept in bounded ring buffers (the most recent
+``window`` observations) — percentiles describe the *current* behaviour of
+the service, not its whole lifetime, which is what an operator watching a
+dashboard needs.
+
+The snapshot also folds in :meth:`repro.nlg.cache.DecodeCache.stats` when a
+neural generator is attached, so one ``GET /metrics`` shows request rates,
+latency percentiles, batching effectiveness, and cache hit rates side by
+side.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Optional, Sequence
+
+#: ring-buffer capacity for latency / batch-size observations
+DEFAULT_WINDOW = 2048
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` by linear interpolation.
+
+    Implemented here (rather than via numpy) so telemetry stays importable
+    in the slimmest deployment; the windows are small enough that sorting
+    per snapshot is negligible.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * fraction
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = rank - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+class ServiceTelemetry:
+    """Thread-safe aggregation of serving metrics."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._batch_sizes: deque[int] = deque(maxlen=window)
+        self._requests_total = 0
+        self._batches_total = 0
+        self._requests_batched = 0
+        self._max_batch_size = 0
+        self._by_status: Counter[int] = Counter()
+        self._by_format: Counter[str] = Counter()
+        self._by_mode: Counter[str] = Counter()
+        self._rejected_overload = 0
+        self._timed_out = 0
+
+    # ------------------------------------------------------------------
+    # recorders
+    # ------------------------------------------------------------------
+
+    def record_request(
+        self,
+        status: int,
+        latency_s: float,
+        plan_format: Optional[str] = None,
+        mode: Optional[str] = None,
+    ) -> None:
+        """One finished HTTP request (any endpoint outcome)."""
+        with self._lock:
+            self._requests_total += 1
+            self._by_status[status] += 1
+            if plan_format:
+                self._by_format[plan_format] += 1
+            if mode:
+                self._by_mode[mode] += 1
+            if status == 200:
+                self._latencies.append(latency_s)
+            elif status == 429:
+                self._rejected_overload += 1
+            elif status == 503:
+                self._timed_out += 1
+
+    def record_batch(self, size: int) -> None:
+        """One micro-batch drained from the queue by the worker."""
+        with self._lock:
+            self._batches_total += 1
+            self._requests_batched += size
+            self._batch_sizes.append(size)
+            self._max_batch_size = max(self._max_batch_size, size)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(
+        self,
+        decode_cache_stats: Optional[dict] = None,
+        queue_depth: int = 0,
+    ) -> dict:
+        """The ``/metrics`` JSON document."""
+        with self._lock:
+            latencies = list(self._latencies)
+            batch_sizes = list(self._batch_sizes)
+            uptime = time.monotonic() - self._started
+            document = {
+                "uptime_s": round(uptime, 3),
+                "requests": {
+                    "total": self._requests_total,
+                    "by_status": {str(k): v for k, v in sorted(self._by_status.items())},
+                    "by_format": dict(sorted(self._by_format.items())),
+                    "by_mode": dict(sorted(self._by_mode.items())),
+                    "rejected_overload": self._rejected_overload,
+                    "timed_out": self._timed_out,
+                    "per_second": (
+                        round(self._requests_total / uptime, 3) if uptime > 0 else 0.0
+                    ),
+                },
+                "latency_ms": {
+                    "count": len(latencies),
+                    "p50": round(percentile(latencies, 0.50) * 1000.0, 3),
+                    "p90": round(percentile(latencies, 0.90) * 1000.0, 3),
+                    "p99": round(percentile(latencies, 0.99) * 1000.0, 3),
+                    "max": round(max(latencies, default=0.0) * 1000.0, 3),
+                },
+                "batching": {
+                    "batches": self._batches_total,
+                    "requests_batched": self._requests_batched,
+                    "avg_batch_size": (
+                        round(sum(batch_sizes) / len(batch_sizes), 3) if batch_sizes else 0.0
+                    ),
+                    "max_batch_size": self._max_batch_size,
+                    "queue_depth": queue_depth,
+                },
+            }
+        if decode_cache_stats is not None:
+            document["decode_cache"] = decode_cache_stats
+        return document

@@ -139,7 +139,8 @@ class Database:
         return self._executor.execute(plan)
 
     def explain(self, sql: str, output_format: str = "text") -> str:
-        """EXPLAIN ``sql`` in ``text``, ``json`` (PostgreSQL), or ``xml`` (SQL Server) form."""
+        """EXPLAIN ``sql`` in ``text``, ``json`` (PostgreSQL), ``xml`` (SQL
+        Server), or ``mysql`` (MySQL ``EXPLAIN FORMAT=JSON``) form."""
         plan = self.plan(sql)
         if output_format == "text":
             return explain_module.to_text(plan)
@@ -147,4 +148,6 @@ class Database:
             return explain_module.to_postgres_json(plan)
         if output_format == "xml":
             return explain_module.to_sqlserver_xml(plan)
+        if output_format == "mysql":
+            return explain_module.to_mysql_json(plan)
         raise ValueError(f"unknown explain format {output_format!r}")

@@ -1,10 +1,15 @@
-"""EXPLAIN serializers: indented text, PostgreSQL-style JSON, SQL Server-style XML.
+"""EXPLAIN serializers: text, PostgreSQL JSON, SQL Server XML, MySQL JSON.
 
 The JSON layout follows ``EXPLAIN (FORMAT JSON)`` closely enough that the
 plan parser in :mod:`repro.plans.postgres` treats it exactly like real
 PostgreSQL output.  The XML layout mirrors the structure (not the full
 schema) of SQL Server showplan XML: nested ``RelOp`` elements with
-``PhysicalOp``/``LogicalOp`` attributes and SQL Server operator names.
+``PhysicalOp``/``LogicalOp`` attributes and SQL Server operator names.  The
+MySQL layout mirrors ``EXPLAIN FORMAT=JSON``: a ``query_block`` with
+``ordering_operation``/``grouping_operation``/``duplicates_removal`` wrappers
+around a ``table`` access or a ``nested_loop`` array (MySQL joins exclusively
+with nested loops, so join subtrees are flattened into the array and the join
+predicate travels as the inner table's ``attached_condition``).
 """
 
 from __future__ import annotations
@@ -211,6 +216,102 @@ def _node_to_relop(node: PlanNode, parent: ElementTree.Element) -> None:
         relop.set("TopExpression", str(node.extra["limit"]))
     for child in node.children:
         _node_to_relop(child, relop)
+
+
+# ---------------------------------------------------------------------------
+# MySQL-style EXPLAIN FORMAT=JSON
+# ---------------------------------------------------------------------------
+
+#: node types that are executor machinery with no MySQL EXPLAIN analogue —
+#: spliced through to their input (MySQL shows neither hash build sides,
+#: spools, parallelism, nor a Limit operator)
+_MYSQL_SPLICED = (HASH, MATERIALIZE, GATHER, LIMIT, SORT)
+
+#: access types per scan node (MySQL's ``index`` = full index scan)
+_MYSQL_ACCESS_TYPES = {
+    SEQ_SCAN: "ALL",
+    PARALLEL_SEQ_SCAN: "ALL",
+    INDEX_SCAN: "ref",
+    INDEX_ONLY_SCAN: "index",
+}
+
+
+def _mysql_table_entry(node: PlanNode, join_condition: str | None = None) -> dict[str, Any]:
+    table: dict[str, Any] = {
+        "table_name": node.relation or "<derived>",
+        "access_type": _MYSQL_ACCESS_TYPES.get(node.node_type, "ALL"),
+        "rows_examined_per_scan": int(round(node.plan_rows)),
+        "cost_info": {
+            "read_cost": f"{node.startup_cost:.2f}",
+            "eval_cost": f"{max(node.total_cost - node.startup_cost, 0.0):.2f}",
+        },
+    }
+    if node.alias and node.alias != node.relation:
+        table["alias"] = node.alias
+    if node.index_name:
+        table["key"] = node.index_name
+    if node.index_condition is not None:
+        table["index_condition"] = str(node.index_condition)
+    conditions = [str(c) for c in (node.filter, join_condition) if c is not None]
+    if conditions:
+        table["attached_condition"] = " and ".join(f"({c})" for c in conditions) if len(
+            conditions
+        ) > 1 else conditions[0]
+    return {"table": table}
+
+
+def _mysql_collect_tables(node: PlanNode, join_condition: str | None = None) -> list[dict[str, Any]]:
+    """Flatten a join subtree into MySQL's left-to-right table-access list.
+
+    ``join_condition`` is the predicate of the enclosing join; MySQL records
+    it on the inner (right-hand) table as its ``attached_condition``.
+    """
+    while node.node_type in _MYSQL_SPLICED and node.children:
+        node = node.children[0]
+    if node.is_join:
+        entries = _mysql_collect_tables(node.children[0], join_condition)
+        condition = str(node.join_condition) if node.join_condition is not None else None
+        entries.extend(_mysql_collect_tables(node.children[1], condition))
+        return entries
+    if node.relation and not node.children:
+        return [_mysql_table_entry(node, join_condition)]
+    # an access MySQL cannot express (e.g. an aggregate feeding a join):
+    # surface it as a derived table so the plan stays well-formed
+    return [{"table": {"table_name": node.relation or "<derived>", "access_type": "ALL"}}]
+
+
+def _node_to_mysql_block(node: PlanNode) -> dict[str, Any]:
+    """The key set this node contributes to the enclosing query block."""
+    if node.node_type == SORT:
+        inner = _node_to_mysql_block(node.children[0])
+        return {"ordering_operation": {"using_filesort": True, **inner}}
+    if node.node_type == UNIQUE:
+        inner = _node_to_mysql_block(node.children[0])
+        return {"duplicates_removal": {"using_temporary_table": False, **inner}}
+    if node.node_type in (AGGREGATE, GROUP_AGGREGATE, HASH_AGGREGATE):
+        inner = _node_to_mysql_block(node.children[0])
+        wrapper: dict[str, Any] = dict(inner)
+        if node.node_type == HASH_AGGREGATE:
+            wrapper["using_temporary_table"] = True
+        elif node.node_type == GROUP_AGGREGATE:
+            wrapper["using_filesort"] = True
+        return {"grouping_operation": wrapper}
+    if node.node_type in _MYSQL_SPLICED and node.children:
+        return _node_to_mysql_block(node.children[0])
+    if node.is_join:
+        return {"nested_loop": _mysql_collect_tables(node)}
+    return _mysql_table_entry(node)
+
+
+def to_mysql_json(plan: PhysicalPlan, pretty: bool = True) -> str:
+    """Serialize the plan like MySQL ``EXPLAIN FORMAT=JSON``."""
+    block: dict[str, Any] = {
+        "select_id": 1,
+        "cost_info": {"query_cost": f"{plan.root.total_cost:.2f}"},
+        **_node_to_mysql_block(plan.root),
+    }
+    document = {"query_block": block, "query": plan.statement_text}
+    return json.dumps(document, indent=2 if pretty else None, default=str)
 
 
 def to_sqlserver_xml(plan: PhysicalPlan) -> str:

@@ -1,0 +1,364 @@
+"""LANTERN-SERVE: concurrent serving, micro-batching, admission control.
+
+The load-bearing contracts: narrations served over HTTP under thread
+contention are identical to direct ``Lantern`` calls; all wire formats go
+through the auto-detecting registry; malformed payloads come back as
+structured 400s; a full queue answers 429; and the shared decode cache keeps
+hitting under contention.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Lantern, LanternConfig
+from repro.core.acts import align_acts_with_narration, decompose_lot_into_acts
+from repro.core.narration import Narration
+from repro.errors import ServiceOverloadError, ServiceTimeoutError
+from repro.nlg.tokenizer import detokenize
+from repro.service import (
+    BatcherConfig,
+    LanternClient,
+    LanternServiceError,
+    MicroBatcher,
+    ServiceTelemetry,
+    build_service,
+)
+from repro.service.telemetry import percentile
+
+SQLS = [
+    "SELECT count(*) FROM publication p WHERE p.year > 2003",
+    "SELECT p.venue_key FROM publication p WHERE p.year > 1999 ORDER BY p.venue_key",
+    (
+        "SELECT i.venue, count(*) AS n FROM inproceedings i, publication p "
+        "WHERE i.paper_key = p.pub_key GROUP BY i.venue"
+    ),
+    "SELECT DISTINCT p.venue_key FROM publication p",
+]
+
+FORMATS = ("json", "xml", "mysql")
+
+
+@pytest.fixture(scope="module")
+def payloads(dblp_db) -> list[str]:
+    """Mixed pg/mssql/mysql serializations of several plans."""
+    produced = []
+    for i, sql in enumerate(SQLS * 3):
+        produced.append(dblp_db.explain(sql, output_format=FORMATS[i % 3]))
+    return produced
+
+
+@pytest.fixture(scope="module")
+def rule_service(payloads):
+    service = build_service(port=0)
+    host, port = service.start()
+    yield service, LanternClient(f"http://{host}:{port}")
+    service.stop()
+
+
+class TestEndpoints:
+    def test_healthz(self, rule_service):
+        _, client = rule_service
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert "mysql-json" in health["formats"]
+        assert health["neural_attached"] is False
+
+    def test_narrate_all_wire_formats(self, rule_service, payloads, dblp_db):
+        service, client = rule_service
+        for payload in payloads[:6]:
+            result = client.narrate(payload)
+            assert result["narration"]["steps"]
+            assert result["narration"]["steps"][-1]["is_final"]
+        # the parsed-tree wire format
+        tree = service.lantern.plan_for_sql(dblp_db, SQLS[0])
+        result = client.narrate(tree.to_dict())
+        assert result["format"] == "operator-tree-json"
+        assert result["narration"]["text"]
+
+    def test_explicit_format_and_presentation(self, rule_service, payloads):
+        _, client = rule_service
+        result = client.narrate(payloads[0], plan_format="postgres-json", presentation="document")
+        assert result["format"] == "postgres-json"
+        assert result["rendered"].startswith("The query is executed as follows.")
+
+    def test_malformed_plan_is_structured_400(self, rule_service):
+        _, client = rule_service
+        with pytest.raises(LanternServiceError) as excinfo:
+            client.narrate("EXPLAIN says no")
+        assert excinfo.value.status == 400
+        assert excinfo.value.body["error"] == "plan_format"
+        assert "postgres-json" in excinfo.value.body["attempted_formats"]
+
+    def test_malformed_plan_with_explicit_format_is_400(self, rule_service):
+        _, client = rule_service
+        for plan, plan_format in (
+            ({"root": {}}, "operator-tree-json"),
+            ("garbage", "tree"),
+            ("{not json", "postgres-json"),
+        ):
+            with pytest.raises(LanternServiceError) as excinfo:
+                client.narrate(plan, plan_format=plan_format)
+            assert excinfo.value.status == 400
+            assert excinfo.value.body["error"] == "plan_format"
+
+    @pytest.mark.parametrize(
+        "body, detail",
+        [
+            ({}, "plan"),
+            ({"plan": "[]", "mode": "telepathic"}, "mode"),
+            ({"plan": "[]", "presentation": "interpretive-dance"}, "presentation"),
+        ],
+    )
+    def test_invalid_request_bodies(self, rule_service, body, detail):
+        _, client = rule_service
+        with pytest.raises(LanternServiceError) as excinfo:
+            client._request("POST", "/narrate", body)
+        assert excinfo.value.status == 400
+        assert detail in excinfo.value.body["message"]
+
+    def test_oversized_body_closes_the_connection(self, rule_service):
+        """413 without draining the body must not desync a keep-alive
+        stream: the server says Connection: close and means it."""
+        import http.client
+
+        from repro.service.server import MAX_BODY_BYTES
+
+        service, _ = rule_service
+        host, port = service._httpd.server_address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.putrequest("POST", "/narrate")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 10))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+
+    def test_post_path_query_string_is_ignored(self, rule_service, payloads):
+        _, client = rule_service
+        result = client._request(
+            "POST", "/narrate?client=classroom-7", {"plan": payloads[0]}
+        )
+        assert result["narration"]["steps"]
+
+    def test_unknown_paths_404(self, rule_service):
+        _, client = rule_service
+        for method, path in (("POST", "/decant"), ("GET", "/narrate")):
+            with pytest.raises(LanternServiceError) as excinfo:
+                client._request(method, path, {"plan": "[]"} if method == "POST" else None)
+            assert excinfo.value.status == 404
+
+    def test_metrics_shape(self, rule_service):
+        _, client = rule_service
+        metrics = client.metrics()
+        assert metrics["requests"]["total"] >= 1
+        assert {"p50", "p90", "p99"} <= metrics["latency_ms"].keys()
+        assert metrics["batching"]["batches"] >= 1
+        assert "rule_memo" in metrics  # deterministic default narrator
+
+
+class TestConcurrentRuleServing:
+    THREADS = 8
+    ROUNDS = 4
+
+    def test_contended_narrations_match_direct_calls(self, rule_service, payloads):
+        """N threads hammering mixed formats get exactly what a direct,
+        single-threaded Lantern would have produced for each payload."""
+        service, client = rule_service
+        reference = Lantern(config=LanternConfig(seed=None))
+        expected = {
+            payload: reference.describe_plan(reference.parse_plan(payload)).text
+            for payload in payloads
+        }
+        failures: list[str] = []
+
+        def hammer(offset: int) -> None:
+            mine = payloads[offset::2] * self.ROUNDS
+            for payload in mine:
+                served = client.narrate(payload)["narration"]["text"]
+                if served != expected[payload]:
+                    failures.append(f"mismatch for payload[{offset}]")
+
+        threads = [
+            threading.Thread(target=hammer, args=(i % 2,)) for i in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        metrics = client.metrics()
+        assert metrics["requests"]["by_status"].get("500", 0) == 0
+        assert metrics["rule_memo"]["hit_rate"] > 0.5  # repeated shapes memoize
+
+
+@pytest.fixture(scope="module")
+def neural_service(trained_neural, payloads):
+    """A service with the trained generator attached (fresh shared state)."""
+    exposure_before = dict(trained_neural._act_exposure)
+    trained_neural._act_exposure.clear()
+    trained_neural.decode_cache.clear()
+    facade = Lantern(neural=trained_neural, config=LanternConfig(seed=None))
+    service = build_service(lantern=facade, port=0)
+    host, port = service.start()
+    yield service, LanternClient(f"http://{host}:{port}")
+    service.stop()
+    trained_neural.decode_cache.clear()
+    trained_neural._act_exposure.clear()
+    trained_neural._act_exposure.update(exposure_before)
+
+
+class TestNeuralServing:
+    def test_sequential_neural_parity_with_direct_calls(
+        self, neural_service, payloads, trained_neural
+    ):
+        """One client, fixed order: served neural narrations are
+        token-identical to direct describe_plan calls from fresh state."""
+        service, client = neural_service
+        trained_neural._act_exposure.clear()
+        trained_neural.decode_cache.clear()
+        served = [
+            client.narrate(payload, mode="neural")["narration"]["text"]
+            for payload in payloads
+        ]
+        trained_neural._act_exposure.clear()
+        trained_neural.decode_cache.clear()
+        reference = Lantern(neural=trained_neural, config=LanternConfig(seed=None))
+        direct = [
+            reference.describe_plan(reference.parse_plan(payload), mode="neural").text
+            for payload in payloads
+        ]
+        assert served == direct
+
+    def test_contended_neural_serving_hits_cache(
+        self, neural_service, payloads, trained_neural
+    ):
+        """Under contention the exact wording depends on arrival order (the
+        anti-boredom cycle), so each served step must equal one of the ranked
+        beam finalizations for that step — and the shared decode cache must
+        keep serving hits."""
+        service, client = neural_service
+        reference = Lantern(config=LanternConfig(seed=None))
+        acceptable: dict[str, list[set[str]]] = {}
+        for payload in payloads:
+            narration = reference.describe_plan(reference.parse_plan(payload))
+            acts = align_acts_with_narration(
+                decompose_lot_into_acts(narration.lot), narration
+            )
+            per_step = []
+            for act, step in zip(acts, narration.steps):
+                candidates = trained_neural.model.beam_decode_candidates(
+                    act.input_tokens(), beam_size=trained_neural._effective_beam_size()
+                )
+                per_step.append(
+                    {
+                        trained_neural._finalize(detokenize(tokens), step)
+                        for tokens in candidates
+                        if tokens
+                    }
+                )
+            acceptable[payload] = per_step
+
+        trained_neural.decode_cache.clear()
+        failures: list[str] = []
+
+        def hammer(offset: int) -> None:
+            for payload in payloads[offset::2] * 3:
+                steps = client.narrate(payload, mode="neural")["narration"]["steps"]
+                for index, step in enumerate(steps):
+                    if step["text"] not in acceptable[payload][index]:
+                        failures.append(f"step {index} off-beam for payload[{offset}]")
+
+        threads = [threading.Thread(target=hammer, args=(i % 2,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        cache_stats = client.metrics()["decode_cache"]
+        assert cache_stats["hit_rate"] > 0
+        assert cache_stats["hits"] > 0
+
+
+class _BlockingLantern:
+    """Stands in for a Lantern whose narration blocks until released."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+
+    def describe_plans(self, trees, mode, collect_errors=True):
+        assert self.release.wait(timeout=30)
+        return [Narration(steps=[]) for _ in trees]
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_with_overload(self):
+        lantern = _BlockingLantern()
+        batcher = MicroBatcher(
+            lantern, BatcherConfig(max_batch_size=1, max_queue_depth=2)
+        )
+        batcher.start()
+        try:
+            submitters = [
+                threading.Thread(target=lambda: batcher.submit(object()), daemon=True)
+                for _ in range(3)
+            ]
+            for submitter in submitters:
+                submitter.start()
+            deadline = time.monotonic() + 5
+            # worker holds one request; two more fill the bounded queue
+            while batcher.queue_depth < 2 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert batcher.queue_depth == 2
+            with pytest.raises(ServiceOverloadError, match="queue is full"):
+                batcher.submit(object())
+        finally:
+            lantern.release.set()
+            for submitter in submitters:
+                submitter.join(timeout=5)
+            batcher.stop()
+
+    def test_slow_narration_times_out(self):
+        lantern = _BlockingLantern()
+        batcher = MicroBatcher(lantern, BatcherConfig(request_timeout_s=0.05))
+        batcher.start()
+        try:
+            with pytest.raises(ServiceTimeoutError, match="not produced within"):
+                batcher.submit(object())
+        finally:
+            lantern.release.set()
+            batcher.stop()
+
+    def test_submit_without_worker_fails_fast(self):
+        batcher = MicroBatcher(_BlockingLantern())
+        with pytest.raises(ServiceTimeoutError, match="not running"):
+            batcher.submit(object())
+
+
+class TestTelemetry:
+    def test_percentiles(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == pytest.approx(50.5)
+        assert percentile(values, 0.99) == pytest.approx(99.01)
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_snapshot_aggregates(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_request(200, 0.010, plan_format="postgres-json", mode="rule")
+        telemetry.record_request(429, 0.001)
+        telemetry.record_batch(4)
+        snapshot = telemetry.snapshot(decode_cache_stats={"hits": 1}, queue_depth=3)
+        assert snapshot["requests"]["total"] == 2
+        assert snapshot["requests"]["rejected_overload"] == 1
+        assert snapshot["requests"]["by_format"] == {"postgres-json": 1}
+        assert snapshot["latency_ms"]["count"] == 1  # only 200s count
+        assert snapshot["batching"]["avg_batch_size"] == 4
+        assert snapshot["batching"]["queue_depth"] == 3
+        assert snapshot["decode_cache"] == {"hits": 1}
