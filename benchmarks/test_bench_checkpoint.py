@@ -1,0 +1,106 @@
+"""LANTERN-PERSIST: service cold-start via checkpoint load vs train-from-scratch.
+
+Not a paper table — this bench tracks the repo's operability trajectory, the
+way ``test_bench_serve_throughput`` tracks serving throughput.  It measures
+the two ways a LANTERN-SERVE process can acquire a neural narrator:
+
+* **train from scratch** — the pre-PERSIST reality: every restart rebuilds
+  the workload, regenerates the dataset, and retrains QEP2Seq (what
+  ``python -m repro.service --neural`` does);
+* **checkpoint warm boot** — ``Lantern.load`` on a LANTERN-PERSIST
+  directory: weights, vocabularies, exposure state, habituation counters,
+  and the warm decode cache come back in milliseconds.
+
+The warm boot must be at least 10× faster than the training path (in
+practice it is thousands of times faster), and the loaded facade must
+narrate the measurement plan sequence **token-identically** to the facade
+that was saved.  Results land in ``BENCH_checkpoint.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.core import Lantern
+from repro.nlg.train import train_workload_lantern
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_checkpoint.json"
+
+QUERY_COUNT = 12
+EPOCHS = 3
+MIN_SPEEDUP = 10.0
+
+
+def _cold_start(seed: int = 9):
+    """The full train-from-scratch startup path (the canonical recipe the
+    train CLI and ``--neural`` serving flag share), timed end to end."""
+    started = time.perf_counter()
+    lantern, database, queries, _, _ = train_workload_lantern(
+        workload="dblp",
+        queries=QUERY_COUNT,
+        epochs=EPOCHS,
+        hidden_dim=32,
+        attention_dim=16,
+        seed=seed,
+        train_cap=160,
+        validation_cap=32,
+    )
+    seconds = time.perf_counter() - started
+    return lantern, database, queries, seconds
+
+
+def test_checkpoint_warm_boot_vs_train_from_scratch(tmp_path):
+    lantern, database, queries, train_seconds = _cold_start()
+    trees = [lantern.plan_for_sql(database, sql) for sql in queries]
+    for tree in trees:  # serve a little traffic: exposures + warm cache
+        lantern.describe_plan(tree, mode="neural")
+
+    checkpoint = tmp_path / "ckpt"
+    started = time.perf_counter()
+    lantern.save(checkpoint)
+    save_seconds = time.perf_counter() - started
+    checkpoint_bytes = sum(f.stat().st_size for f in checkpoint.iterdir())
+
+    started = time.perf_counter()
+    loaded = Lantern.load(checkpoint)
+    load_seconds = time.perf_counter() - started
+
+    # token-identical continuation: both facades narrate the same sequence
+    # from the saved state (neural wording cycles, habituation routing, and
+    # the warm cache must all have survived the round trip)
+    parity = all(
+        loaded.describe_plan(tree, mode=mode).text
+        == lantern.describe_plan(tree, mode=mode).text
+        for mode in ("neural", "auto")
+        for tree in trees
+    )
+    assert parity
+    cache_stats = loaded.neural.decode_cache.stats()
+    assert cache_stats["hits"] > 0  # the shipped cache served the parity pass
+
+    speedup = train_seconds / load_seconds
+    assert speedup >= MIN_SPEEDUP
+
+    document = {
+        "train_from_scratch_s": round(train_seconds, 3),
+        "checkpoint_save_s": round(save_seconds, 4),
+        "checkpoint_load_s": round(load_seconds, 4),
+        "warm_boot_speedup": round(speedup, 1),
+        "checkpoint_kib": round(checkpoint_bytes / 1024, 1),
+        "parity_token_identical": parity,
+        "decode_cache_entries": int(cache_stats["size"]),
+        "workload": {"name": "dblp", "queries": QUERY_COUNT, "epochs": EPOCHS},
+    }
+    BENCH_JSON.write_text(json.dumps(document, indent=2) + "\n")
+
+    print_table(
+        "Service cold start: train-from-scratch vs LANTERN-PERSIST warm boot",
+        ["startup path", "seconds", "speedup"],
+        [
+            ["train from scratch", f"{train_seconds:.2f}", "1.0x"],
+            ["checkpoint warm boot", f"{load_seconds:.4f}", f"{speedup:.0f}x"],
+        ],
+    )
+    print(f"checkpoint: {checkpoint_bytes / 1024:.0f} KiB, save {save_seconds * 1000:.1f} ms")

@@ -41,8 +41,12 @@ def _materials(suite) -> StudyMaterials:
 
 def test_fig8b_q1_ease(benchmark, suite):
     materials = _materials(suite)
-    population = LearnerPopulation(43, seed=81)
-    results = benchmark(lambda: q1_ease_of_understanding(materials, population))
+    # the population is rebuilt per benchmark round: learners carry a
+    # stateful rng, so reusing one population would make the returned
+    # ratings depend on how many calibration rounds the harness ran
+    results = benchmark(
+        lambda: q1_ease_of_understanding(materials, LearnerPopulation(43, seed=81))
+    )
     print_table(
         "Figure 8(b) — Q1: how easy is each format to understand?",
         ["format", "1", "2", "3", "4", "5", ">3"],
@@ -58,9 +62,11 @@ def test_fig8c_q2_quality(benchmark, suite, capsys):
     profile = neural.token_error_profile(neural.dataset.validation_samples[:30], beam_size=2)
     total = max(sum(profile.values()), 1)
     wrong_ratio = (profile["one_wrong_token"] + 3 * profile["several_wrong_tokens"]) / (total * 20)
-    population = LearnerPopulation(43, seed=82)
+    # population rebuilt per round — see test_fig8b
     results = benchmark(
-        lambda: q2_description_quality(population, {"nl-rule": 0.0, "nl-neural": wrong_ratio})
+        lambda: q2_description_quality(
+            LearnerPopulation(43, seed=82), {"nl-rule": 0.0, "nl-neural": wrong_ratio}
+        )
     )
     print("\n=== Figure 8(c) — Q2: how well does LANTERN describe the plans? ===")
     print(format_likert_table(results))
@@ -71,8 +77,10 @@ def test_fig8c_q2_quality(benchmark, suite, capsys):
 
 def test_fig8d_q3_preference(benchmark, suite):
     materials = _materials(suite)
-    population = LearnerPopulation(43, seed=83)
-    shares = benchmark(lambda: q3_preferred_format(materials, population))
+    # population rebuilt per round — see test_fig8b
+    shares = benchmark(
+        lambda: q3_preferred_format(materials, LearnerPopulation(43, seed=83))
+    )
     print_table(
         "Figure 8(d) — Q3: most preferred format",
         ["format", "share"],

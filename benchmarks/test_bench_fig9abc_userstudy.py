@@ -12,7 +12,7 @@ from repro.baselines import Neuron
 from repro.plans import parse_sqlserver_xml
 from repro.study import LearnerPopulation
 from repro.study.experiments import lantern_vs_neuron_study, q2_description_quality
-from repro.study.surveys import format_likert_table
+from repro.study.surveys import LikertDistribution, format_likert_table
 from repro.workloads import sdss_queries, tpch_queries
 
 EMBEDDING_VARIANTS = [
@@ -37,8 +37,12 @@ def test_fig9a_pretrained_models_q2(benchmark, suite):
         label: _wrong_ratio(suite, name, family, pretrained)
         for label, name, family, pretrained in EMBEDDING_VARIANTS
     }
-    population = LearnerPopulation(43, seed=91)
-    results = benchmark(lambda: q2_description_quality(population, conditions))
+    # the population is rebuilt per benchmark round: learners carry a
+    # stateful rng, so reusing one population would make the returned
+    # ratings depend on how many calibration rounds the harness ran
+    results = benchmark(
+        lambda: q2_description_quality(LearnerPopulation(43, seed=91), conditions)
+    )
     print("\n=== Figure 9(a) — Q2 per pre-trained model ===")
     print(format_likert_table(results))
     fractions = [distribution.fraction_above() for distribution in results.values()]
@@ -53,15 +57,28 @@ def test_fig9b_paraphrasing_impact_q2(benchmark, suite):
     # the +0.08 reflects the paper's observation that, without the paraphrase-
     # expanded training set, the overfit model drops filtering conditions —
     # errors beyond pure token mismatches on the small validation split.
-    population = LearnerPopulation(43, seed=92)
+    # population rebuilt per round — see test_fig9a
+    conditions = {
+        "with paraphrasing": with_paraphrase,
+        "without paraphrasing": without_paraphrase,
+    }
     results = benchmark(
-        lambda: q2_description_quality(
-            population, {"with paraphrasing": with_paraphrase, "without paraphrasing": without_paraphrase}
-        )
+        lambda: q2_description_quality(LearnerPopulation(43, seed=92), conditions)
     )
     print("\n=== Figure 9(b) — Q2 with vs without paraphrasing ===")
     print(format_likert_table(results))
-    assert results["with paraphrasing"].fraction_above() >= results["without paraphrasing"].fraction_above()
+    # a single 43-learner replicate sits within sampling noise of a tie (the
+    # per-learner rating noise is of the same order as the condition gap), so
+    # the paper's ordering is asserted on five pooled replicates
+    pooled = {condition: LikertDistribution() for condition in conditions}
+    for seed in range(92, 97):
+        replicate = q2_description_quality(LearnerPopulation(43, seed=seed), conditions)
+        for condition, distribution in replicate.items():
+            pooled[condition].counts.update(distribution.counts)
+    assert (
+        pooled["with paraphrasing"].fraction_above()
+        >= pooled["without paraphrasing"].fraction_above()
+    )
 
 
 def test_fig9c_lantern_vs_neuron(benchmark, suite):
@@ -81,10 +98,10 @@ def test_fig9c_lantern_vs_neuron(benchmark, suite):
         lantern_ok += bool(lantern.describe_plan(tree).steps)
         neuron_ok += neuron.try_narrate(tree) is not None
 
-    population = LearnerPopulation(43, seed=93)
+    # population rebuilt per round — see test_fig9a
     results = benchmark(
         lambda: lantern_vs_neuron_study(
-            population,
+            LearnerPopulation(43, seed=93),
             lantern_success_rate=lantern_ok / total,
             neuron_success_rate=neuron_ok / total,
         )

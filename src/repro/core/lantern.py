@@ -440,6 +440,37 @@ class Lantern:
         return [self.neural.translate_step(act, step) for _, act, step in neural_bound]
 
     # ------------------------------------------------------------------
+    # persistence (LANTERN-PERSIST)
+    # ------------------------------------------------------------------
+
+    def save(self, path, include_cache: bool = True):
+        """Checkpoint this facade (config, habituation counters, and — when a
+        :class:`~repro.nlg.neural_lantern.NeuralLantern` is attached — model
+        weights, vocabularies, wording-cycle exposures, and optionally the
+        warm decode cache) to a LANTERN-PERSIST directory.
+
+        Returns the checkpoint directory path.  See
+        :mod:`repro.nlg.persistence` for the format.
+        """
+        # imported lazily: repro.core must stay importable without repro.nlg
+        from repro.nlg.persistence import save_lantern
+
+        return save_lantern(self, path, include_cache=include_cache)
+
+    @classmethod
+    def load(cls, path) -> "Lantern":
+        """Rebuild a facade from a checkpoint written by :meth:`save`.
+
+        The loaded facade produces token-identical narrations to the one
+        that was saved, for the same plan sequence.  Raises a structured
+        :class:`~repro.errors.CheckpointError` subclass for missing,
+        corrupt, or incompatible checkpoints.
+        """
+        from repro.nlg.persistence import load_lantern
+
+        return load_lantern(path)
+
+    # ------------------------------------------------------------------
     # habituation bookkeeping (the auto-switch policy)
     # ------------------------------------------------------------------
 

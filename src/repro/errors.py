@@ -77,6 +77,23 @@ class ServiceTimeoutError(ServiceError):
     """A narration request was admitted but not answered in time (HTTP 503)."""
 
 
+class CheckpointError(ReproError):
+    """Base class for LANTERN-PERSIST checkpoint save/load errors."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """A checkpoint path is not a checkpoint, or its manifest is malformed."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The checkpoint's schema version or kind is not one this build can read."""
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """Checkpoint contents fail verification (digest mismatch, missing or
+    misshapen weight arrays) — the file is corrupt or was tampered with."""
+
+
 class NLGError(ReproError):
     """Base class for neural-generation errors (vocabulary, model, decoding)."""
 

@@ -18,12 +18,23 @@ Sub-packages:
 * :mod:`repro.nlg.cache` — the LRU act-signature decode cache backing
   NEURAL-LANTERN's interactive response times;
 * :mod:`repro.nlg.neural_lantern` — the NEURAL-LANTERN facade that plugs into
-  :class:`repro.core.Lantern`.
+  :class:`repro.core.Lantern`;
+* :mod:`repro.nlg.persistence` — LANTERN-PERSIST versioned checkpoints, so
+  trained narrators survive restarts (``python -m repro.nlg.train`` emits
+  one; ``python -m repro.service --checkpoint`` boots from one).
 """
 
 from repro.nlg.cache import DecodeCache
 from repro.nlg.metrics import bleu_score, self_bleu, sparse_categorical_accuracy
 from repro.nlg.neural_lantern import NeuralLantern
+from repro.nlg.persistence import (
+    load_lantern,
+    load_neural_lantern,
+    load_qep2seq,
+    save_lantern,
+    save_neural_lantern,
+    save_qep2seq,
+)
 from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
 from repro.nlg.vocab import Vocabulary
 
@@ -34,6 +45,12 @@ __all__ = [
     "Seq2SeqConfig",
     "Vocabulary",
     "bleu_score",
+    "load_lantern",
+    "load_neural_lantern",
+    "load_qep2seq",
+    "save_lantern",
+    "save_neural_lantern",
+    "save_qep2seq",
     "self_bleu",
     "sparse_categorical_accuracy",
 ]

@@ -109,6 +109,16 @@ class DecodeCache:
             if reset_counters:
                 self.reset_counters()
 
+    def export_entries(self) -> list[tuple[CacheKey, tuple[tuple[str, ...], ...]]]:
+        """A point-in-time snapshot of the cached entries, LRU-oldest first.
+
+        LANTERN-PERSIST serializes this into checkpoints so a restarted
+        service boots with a warm cache; re-inserting the snapshot through
+        :meth:`put` in order reproduces the eviction order exactly.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
     def reset_counters(self) -> None:
         """Zero the hit/miss counters while keeping the cached entries.
 

@@ -247,6 +247,29 @@ class NeuralLantern:
         return text
 
     # ------------------------------------------------------------------
+    # persistence (LANTERN-PERSIST)
+    # ------------------------------------------------------------------
+
+    def save(self, path, include_cache: bool = True):
+        """Checkpoint this generator (weights, vocabularies, beam size,
+        wording-cycle exposures, optionally the warm decode cache).
+
+        The training ``dataset`` is provenance, not serving state, and is
+        not persisted; a loaded generator has ``dataset=None``.
+        """
+        # imported lazily: persistence imports this module at load time
+        from repro.nlg.persistence import save_neural_lantern
+
+        return save_neural_lantern(self, path, include_cache=include_cache)
+
+    @classmethod
+    def load(cls, path) -> "NeuralLantern":
+        """Rebuild a generator from a checkpoint written by :meth:`save`."""
+        from repro.nlg.persistence import load_neural_lantern
+
+        return load_neural_lantern(path)
+
+    # ------------------------------------------------------------------
     # evaluation helpers
     # ------------------------------------------------------------------
 

@@ -1,0 +1,500 @@
+"""LANTERN-PERSIST: versioned checkpoints for trained narrators.
+
+A checkpoint is a directory holding two files:
+
+* ``weights.npz`` — every trainable :class:`~repro.nlg.nn.layers.Parameter`
+  of the QEP2Seq model, keyed by its unique parameter name (absent for
+  rule-only facades, which have no model);
+* ``manifest.json`` — a schema-versioned JSON document recording what kind
+  of object was saved, the model/facade configuration, both vocabularies in
+  id order, the serving state that must survive a restart (wording-cycle
+  exposures, habituation counters, optionally the warm decode cache), and a
+  SHA-256 digest of ``weights.npz`` so corruption is detected at load time.
+
+Three object kinds round-trip, each strictly containing the previous:
+
+* :func:`save_qep2seq` / :func:`load_qep2seq` — the bare encoder/decoder;
+* :func:`save_neural_lantern` / :func:`load_neural_lantern` — the
+  NEURAL-LANTERN facade (model + beam size + exposure state + cache);
+* :func:`save_lantern` / :func:`load_lantern` — the full
+  :class:`~repro.core.lantern.Lantern` (everything above + ``LanternConfig``
+  + habituation counters), also reachable as ``Lantern.save(path)`` /
+  ``Lantern.load(path)``.
+
+A model loaded from a checkpoint produces **token-identical** narrations to
+the model that was saved: weights, vocabulary ids, beam width, exposure
+counters and cache contents are all restored bit-for-bit.  Optimizer moments
+(Adam's m/v) are *not* persisted — checkpoints capture a narrator ready to
+serve, not a training run mid-flight; continuing training from a checkpoint
+restarts the optimizer state.
+
+All failure modes raise a structured subclass of
+:class:`~repro.errors.CheckpointError`: a non-checkpoint path or malformed
+manifest raises :class:`~repro.errors.CheckpointFormatError`, an
+unsupported schema version or mismatched kind raises
+:class:`~repro.errors.CheckpointVersionError`, and a digest or weight-shape
+mismatch raises :class:`~repro.errors.CheckpointIntegrityError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.core.lantern import Lantern, LanternConfig
+from repro.core.rule_lantern import RuleLantern
+from repro.errors import (
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointIntegrityError,
+    CheckpointVersionError,
+    PoolError,
+    VocabularyError,
+)
+from repro.nlg.cache import DEFAULT_CACHE_SIZE, make_key
+from repro.nlg.neural_lantern import NeuralLantern
+from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
+from repro.nlg.vocab import Vocabulary
+from repro.pool.poem import PoemStore
+
+#: bumped whenever the manifest layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: the manifest's self-identification value
+FORMAT_NAME = "lantern-persist"
+
+MANIFEST_FILE = "manifest.json"
+WEIGHTS_FILE = "weights.npz"
+
+KIND_QEP2SEQ = "qep2seq"
+KIND_NEURAL = "neural-lantern"
+KIND_LANTERN = "lantern"
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# saving
+# ----------------------------------------------------------------------
+
+
+def save_qep2seq(model: QEP2Seq, path: PathLike) -> Path:
+    """Checkpoint a bare QEP2Seq model; returns the checkpoint directory."""
+    section, weights = _model_section_and_weights(model)
+    manifest = _base_manifest(KIND_QEP2SEQ)
+    manifest["model"] = section
+    return _write_checkpoint(path, manifest, weights)
+
+
+def save_neural_lantern(
+    neural: NeuralLantern, path: PathLike, include_cache: bool = True
+) -> Path:
+    """Checkpoint a NEURAL-LANTERN facade (model + serving state).
+
+    ``include_cache=False`` still records the cache's size/enablement but
+    drops the decoded entries (smaller checkpoint, cold cache on load).
+    """
+    section, weights = _model_section_and_weights(neural.model)
+    manifest = _base_manifest(KIND_NEURAL)
+    manifest["model"] = section
+    manifest["neural"] = _neural_section(neural, include_cache)
+    return _write_checkpoint(path, manifest, weights)
+
+
+def save_lantern(lantern: Lantern, path: PathLike, include_cache: bool = True) -> Path:
+    """Checkpoint a full :class:`Lantern` facade.
+
+    Rule-only facades (no neural generator) checkpoint too — the manifest
+    then carries only the ``LanternConfig`` and habituation counters, and no
+    ``weights.npz`` is written.
+    """
+    manifest = _base_manifest(KIND_LANTERN)
+    weights = None
+    if lantern.neural is not None:
+        if not isinstance(lantern.neural, NeuralLantern):
+            raise CheckpointError(
+                "only NeuralLantern generators can be checkpointed, not "
+                f"{type(lantern.neural).__name__}"
+            )
+        section, weights = _model_section_and_weights(lantern.neural.model)
+        manifest["model"] = section
+        manifest["neural"] = _neural_section(lantern.neural, include_cache)
+    manifest["lantern"] = {
+        "config": asdict(lantern.config),
+        "operator_counts": dict(lantern._operator_counts),
+        # the POEM store travels with the facade: a POOL-customized catalog
+        # (edited aliases/descriptions) must narrate identically after a
+        # restart, not silently revert to the default wording
+        "store": [
+            {
+                "source": poem_object.source,
+                "name": poem_object.name,
+                "operator_type": poem_object.operator_type,
+                "alias": poem_object.alias,
+                "defn": poem_object.defn,
+                "descriptions": list(poem_object.descriptions),
+                "cond": poem_object.cond,
+                "target": poem_object.target,
+            }
+            for poem_object in lantern.store.objects()
+        ],
+        # with a seeded rule narrator, description wording cycles with the
+        # rng stream — capture each narrator's stream position so the loaded
+        # facade continues the cycle instead of replaying it from the seed
+        "narrator_rng": {
+            poem_source: _encode_rng_state(narrator._rng.getstate())
+            for poem_source, narrator in lantern._narrators.items()
+            if narrator._rng is not None
+        },
+    }
+    return _write_checkpoint(path, manifest, weights)
+
+
+def _base_manifest(kind: str) -> dict[str, Any]:
+    return {"format": FORMAT_NAME, "schema_version": SCHEMA_VERSION, "kind": kind}
+
+
+def _model_section_and_weights(
+    model: QEP2Seq,
+) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    weights = {parameter.name: parameter.value for parameter in model.parameters()}
+    if len(weights) != len(model.parameters()):
+        raise CheckpointError("model parameter names are not unique; cannot checkpoint")
+    section = {
+        "config": asdict(model.config),
+        "input_tokens": model.input_vocabulary.tokens,
+        "output_tokens": model.output_vocabulary.tokens,
+        "parameters": {name: list(value.shape) for name, value in weights.items()},
+    }
+    return section, weights
+
+
+def _neural_section(neural: NeuralLantern, include_cache: bool) -> dict[str, Any]:
+    cache = neural.decode_cache
+    return {
+        "beam_size": neural.beam_size,
+        # the wording-cycle state: which beam alternative each act signature
+        # is due next — persisting it keeps anti-habituation cycling
+        # continuous across a restart
+        "act_exposure": dict(neural._act_exposure),
+        "cache": {
+            "max_size": cache.max_size,
+            "enabled": cache.enabled,
+            "entries": (
+                [
+                    [list(key_tokens), beam, [list(tokens) for tokens in candidates]]
+                    for (key_tokens, beam), candidates in cache.export_entries()
+                ]
+                if include_cache
+                else None
+            ),
+        },
+    }
+
+
+def _write_checkpoint(
+    path: PathLike, manifest: dict[str, Any], weights: Optional[dict[str, np.ndarray]]
+) -> Path:
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    if weights is not None:
+        with open(directory / WEIGHTS_FILE, "wb") as handle:
+            np.savez(handle, **weights)
+        manifest["weights_sha256"] = _sha256_file(directory / WEIGHTS_FILE)
+    else:
+        # overwriting a neural checkpoint with a rule-only one must not
+        # leave the previous model's weights orphaned beside the manifest
+        stale = directory / WEIGHTS_FILE
+        if stale.exists():
+            stale.unlink()
+    (directory / MANIFEST_FILE).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return directory
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+
+
+def checkpoint_kind(path: PathLike) -> str:
+    """The kind recorded in a checkpoint's manifest (validates the header)."""
+    return _read_manifest(Path(path))["kind"]
+
+
+def load_qep2seq(path: PathLike) -> QEP2Seq:
+    """Load a bare QEP2Seq checkpoint."""
+    directory = Path(path)
+    manifest = _read_manifest(directory)
+    _expect_kind(manifest, KIND_QEP2SEQ)
+    return _restore_model(_section(manifest, "model"), _read_weights(directory, manifest))
+
+
+def load_neural_lantern(path: PathLike) -> NeuralLantern:
+    """Load a NEURAL-LANTERN checkpoint (model + exposure state + cache)."""
+    directory = Path(path)
+    manifest = _read_manifest(directory)
+    _expect_kind(manifest, KIND_NEURAL)
+    return _restore_neural(manifest, directory)
+
+
+def load_lantern(path: PathLike) -> Lantern:
+    """Load a full :class:`Lantern` checkpoint."""
+    directory = Path(path)
+    manifest = _read_manifest(directory)
+    _expect_kind(manifest, KIND_LANTERN)
+    section = _section(manifest, "lantern")
+    config = _build_config(LanternConfig, section.get("config"), "lantern config")
+    neural = _restore_neural(manifest, directory) if "neural" in manifest else None
+    lantern = Lantern(
+        store=_restore_store(section.get("store")), neural=neural, config=config
+    )
+    counts = section.get("operator_counts", {})
+    if not isinstance(counts, dict):
+        raise CheckpointFormatError("the manifest's operator_counts must be an object")
+    lantern._operator_counts = Counter(
+        {str(name): _coerce_int(count, "operator count") for name, count in counts.items()}
+    )
+    for poem_source, state in (section.get("narrator_rng") or {}).items():
+        narrator = RuleLantern(
+            lantern.store, poem_source=poem_source, seed=lantern.config.seed
+        )
+        if narrator._rng is not None:
+            try:
+                narrator._rng.setstate(_decode_rng_state(state))
+            except (TypeError, ValueError) as error:
+                raise CheckpointFormatError(
+                    f"invalid narrator rng state for {poem_source!r}: {error}"
+                ) from error
+        lantern._narrators[poem_source] = narrator
+    return lantern
+
+
+def _read_manifest(directory: Path) -> dict[str, Any]:
+    manifest_path = directory / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise CheckpointFormatError(
+            f"{directory} is not a LANTERN-PERSIST checkpoint (no {MANIFEST_FILE})"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CheckpointFormatError(f"unreadable checkpoint manifest: {error}") from error
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+        raise CheckpointFormatError(
+            f"{manifest_path} is not a {FORMAT_NAME} manifest"
+        )
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise CheckpointVersionError(
+            f"checkpoint schema version {version!r} is not supported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    return manifest
+
+
+def _expect_kind(manifest: dict[str, Any], expected: str) -> None:
+    kind = manifest.get("kind")
+    if kind != expected:
+        raise CheckpointVersionError(
+            f"checkpoint holds a {kind!r}, not the requested {expected!r} "
+            "(use the matching load function, or Lantern.load for full facades)"
+        )
+
+
+def _section(manifest: dict[str, Any], name: str) -> dict[str, Any]:
+    section = manifest.get(name)
+    if not isinstance(section, dict):
+        raise CheckpointFormatError(f"the manifest has no {name!r} section")
+    return section
+
+
+def _read_weights(directory: Path, manifest: dict[str, Any]) -> dict[str, np.ndarray]:
+    weights_path = directory / WEIGHTS_FILE
+    recorded = manifest.get("weights_sha256")
+    if not isinstance(recorded, str):
+        raise CheckpointFormatError("the manifest records no weights digest")
+    if not weights_path.is_file():
+        raise CheckpointFormatError(f"checkpoint is missing {WEIGHTS_FILE}")
+    actual = _sha256_file(weights_path)
+    if actual != recorded:
+        raise CheckpointIntegrityError(
+            f"weights digest mismatch: manifest records sha256 {recorded[:12]}… but "
+            f"{WEIGHTS_FILE} hashes to {actual[:12]}… — the checkpoint is corrupt"
+        )
+    try:
+        with np.load(weights_path, allow_pickle=False) as archive:
+            return {name: np.asarray(archive[name]) for name in archive.files}
+    except (OSError, ValueError) as error:
+        raise CheckpointIntegrityError(f"unreadable weight archive: {error}") from error
+
+
+def _restore_model(section: dict[str, Any], weights: dict[str, np.ndarray]) -> QEP2Seq:
+    # the manifest's name→shape map must agree with the archive before any
+    # reconstruction: a writer bug (or a weights file paired with the wrong
+    # manifest) surfaces here as a structured error, not a numpy shape blowup
+    declared = section.get("parameters")
+    if isinstance(declared, dict):
+        if set(declared) != set(weights):
+            raise CheckpointIntegrityError(
+                "manifest and weight archive disagree on parameter names "
+                f"(manifest-only: {sorted(set(declared) - set(weights)) or 'none'}, "
+                f"archive-only: {sorted(set(weights) - set(declared)) or 'none'})"
+            )
+        for name, shape in declared.items():
+            if list(weights[name].shape) != list(shape):
+                raise CheckpointIntegrityError(
+                    f"manifest declares shape {shape} for {name!r} but the "
+                    f"archive holds {list(weights[name].shape)}"
+                )
+    config = _build_config(Seq2SeqConfig, section.get("config"), "model config")
+    input_vocabulary = _restore_vocabulary(section.get("input_tokens"), "input")
+    output_vocabulary = _restore_vocabulary(section.get("output_tokens"), "output")
+    decoder_table = weights.get("decoder_embedding.table")
+    if decoder_table is None:
+        raise CheckpointIntegrityError(
+            "the weight archive has no decoder embedding table"
+        )
+    # passing the saved table as "pretrained" makes the constructor adopt its
+    # width, so models trained with pre-trained embeddings (whose dimension
+    # differs from config.decoder_embedding_dim) rebuild with correct shapes;
+    # every parameter, the table included, is then overwritten below
+    model = QEP2Seq(
+        input_vocabulary,
+        output_vocabulary,
+        config=config,
+        decoder_pretrained=np.asarray(decoder_table, dtype=np.float64),
+    )
+    expected = {parameter.name: parameter for parameter in model.parameters()}
+    if set(expected) != set(weights):
+        missing = sorted(set(expected) - set(weights))
+        unexpected = sorted(set(weights) - set(expected))
+        raise CheckpointIntegrityError(
+            "weight archive does not match the reconstructed model "
+            f"(missing: {missing or 'none'}, unexpected: {unexpected or 'none'})"
+        )
+    for name, parameter in expected.items():
+        saved = np.asarray(weights[name], dtype=np.float64)
+        if saved.shape != parameter.value.shape:
+            raise CheckpointIntegrityError(
+                f"weight {name!r} has shape {saved.shape}, the model expects "
+                f"{parameter.value.shape}"
+            )
+        parameter.value[...] = saved
+    return model
+
+
+def _restore_neural(manifest: dict[str, Any], directory: Path) -> NeuralLantern:
+    model = _restore_model(_section(manifest, "model"), _read_weights(directory, manifest))
+    section = _section(manifest, "neural")
+    cache_spec = section.get("cache") or {}
+    neural = NeuralLantern(
+        model,
+        beam_size=section.get("beam_size"),
+        cache_size=_coerce_int(
+            cache_spec.get("max_size", DEFAULT_CACHE_SIZE), "cache max_size"
+        ),
+        cache_enabled=bool(cache_spec.get("enabled", True)),
+    )
+    exposure = section.get("act_exposure", {})
+    if not isinstance(exposure, dict):
+        raise CheckpointFormatError("the manifest's act_exposure must be an object")
+    neural._act_exposure = {
+        str(key): _coerce_int(count, "act exposure") for key, count in exposure.items()
+    }
+    # re-inserting the snapshot oldest-first reproduces the LRU order exactly
+    for entry in cache_spec.get("entries") or []:
+        try:
+            key_tokens, beam, candidates = entry
+            key = make_key([str(token) for token in key_tokens], _coerce_int(beam, "beam size"))
+            value = [[str(token) for token in tokens] for tokens in candidates]
+        except (TypeError, ValueError) as error:
+            raise CheckpointFormatError(f"malformed cache entry: {entry!r}") from error
+        neural.decode_cache.put(key, value)
+    return neural
+
+
+def _restore_store(specs: Any) -> Optional[PoemStore]:
+    """Rebuild the POEM store saved with a facade (None → the default store).
+
+    Objects are re-created in their saved (insertion) order, so oids come
+    back identical — ``create`` assigns them from a counter.
+    """
+    if specs is None:
+        return None  # pre-store manifests: Lantern falls back to the default
+    if not isinstance(specs, list):
+        raise CheckpointFormatError("the manifest's store section is malformed")
+    store = PoemStore()
+    for spec in specs:
+        if not isinstance(spec, dict):
+            raise CheckpointFormatError(f"malformed POEM object: {spec!r}")
+        try:
+            store.create(
+                source=spec["source"],
+                name=spec["name"],
+                operator_type=spec.get("operator_type", "unary"),
+                alias=spec.get("alias"),
+                defn=spec.get("defn"),
+                descriptions=spec.get("descriptions", ()),
+                cond=bool(spec.get("cond", False)),
+                target=spec.get("target"),
+            )
+        except (KeyError, PoolError) as error:
+            raise CheckpointFormatError(
+                f"cannot rebuild POEM object {spec.get('name')!r}: {error}"
+            ) from error
+    return store
+
+
+def _restore_vocabulary(tokens: Any, label: str) -> Vocabulary:
+    if not isinstance(tokens, list) or not all(isinstance(t, str) for t in tokens):
+        raise CheckpointFormatError(f"the manifest's {label} vocabulary is malformed")
+    try:
+        return Vocabulary.from_tokens(tokens)
+    except VocabularyError as error:
+        raise CheckpointFormatError(
+            f"the {label} vocabulary cannot be reconstructed: {error}"
+        ) from error
+
+
+def _build_config(cls, payload: Any, label: str):
+    if not isinstance(payload, dict):
+        raise CheckpointFormatError(f"the manifest's {label} is malformed")
+    try:
+        return cls(**payload)
+    except TypeError as error:
+        raise CheckpointFormatError(f"unsupported {label} fields: {error}") from error
+
+
+def _coerce_int(value: Any, label: str) -> int:
+    """Manifest number → int, as a structured error (never a raw ValueError)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise CheckpointFormatError(f"the manifest's {label} must be a number, got {value!r}")
+    return int(value)
+
+
+def _encode_rng_state(state: tuple) -> list:
+    """``random.Random.getstate()`` → JSON (tuples become lists)."""
+    return [list(part) if isinstance(part, tuple) else part for part in state]
+
+
+def _decode_rng_state(state: Any) -> tuple:
+    """The inverse of :func:`_encode_rng_state` (lists become tuples)."""
+    if not isinstance(state, list):
+        raise CheckpointFormatError(f"malformed rng state: {state!r}")
+    return tuple(tuple(part) if isinstance(part, list) else part for part in state)

@@ -79,8 +79,13 @@ class Trainer:
         self._rng = random.Random(seed)
 
     def _run_batches(self, samples: Sequence[TrainingSample], batch_size: int, train: bool):
-        losses: list[float] = []
-        accuracies: list[float] = []
+        # per-batch means are combined weighted by chunk size: an unweighted
+        # average would overweight a partial final batch (e.g. 1 sample out
+        # of 33 contributing 1/9th of the epoch metric instead of 1/33rd),
+        # skewing the reported curves and the early-stopping window
+        loss_sum = 0.0
+        accuracy_sum = 0.0
+        sample_count = 0
         for start in range(0, len(samples), batch_size):
             chunk = samples[start : start + batch_size]
             batch = self.model.make_batch(
@@ -91,11 +96,12 @@ class Trainer:
                 loss, accuracy = self.model.train_batch(batch)
             else:
                 loss, accuracy = self.model.evaluate_batch(batch)
-            losses.append(loss)
-            accuracies.append(accuracy)
-        if not losses:
+            loss_sum += loss * len(chunk)
+            accuracy_sum += accuracy * len(chunk)
+            sample_count += len(chunk)
+        if not sample_count:
             return 0.0, 0.0
-        return sum(losses) / len(losses), sum(accuracies) / len(accuracies)
+        return loss_sum / sample_count, accuracy_sum / sample_count
 
     def train(
         self,

@@ -46,6 +46,25 @@ class Vocabulary:
                 vocabulary.add(token)
         return vocabulary
 
+    @classmethod
+    def from_tokens(cls, tokens: list[str]) -> "Vocabulary":
+        """Reconstruct a vocabulary from a saved ``tokens`` list, id-exact.
+
+        The inverse of :attr:`tokens`, used by LANTERN-PERSIST: position in
+        the list **is** the token id, so a trained model's embeddings stay
+        aligned after a reload.  Raises :class:`~repro.errors.VocabularyError`
+        if the list would not reproduce its own ordering (duplicates, or
+        control tokens missing from the front) — silently shifted ids would
+        decode garbage.
+        """
+        vocabulary = cls(tokens)
+        if vocabulary.tokens != list(tokens):
+            raise VocabularyError(
+                "token list does not reconstruct in its original id order "
+                "(duplicates, or control tokens not leading)"
+            )
+        return vocabulary
+
     # -- lookup ------------------------------------------------------------
 
     def id_of(self, token: str, strict: bool = False) -> int:

@@ -4,38 +4,34 @@ By default the service narrates with RULE-LANTERN only (instant startup).
 ``--neural`` trains the tiny DBLP-workload NEURAL-LANTERN first (a minute or
 two of CPU) and attaches it, enabling ``"mode": "neural"``/``"auto"``
 requests and the shared act-signature decode cache.
+
+``--checkpoint PATH`` boots **warm** instead: the whole facade — model
+weights, vocabularies, wording-cycle exposures, habituation counters, and
+(optionally) a hot decode cache — is loaded from a LANTERN-PERSIST
+checkpoint written by ``python -m repro.nlg.train``, so a restart costs
+milliseconds rather than a retraining run (see ``BENCH_checkpoint.json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 
 from repro.service.server import DEFAULT_HOST, DEFAULT_PORT, build_service
 
 
-def _train_demo_neural():
-    """The quickstart-sized neural generator (kept out of import time)."""
-    from repro.nlg.dataset import build_dataset
-    from repro.nlg.neural_lantern import NeuralLantern
-    from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
-    from repro.nlg.training import Trainer
-    from repro.workloads import build_dblp_database
-    from repro.workloads.dblp import DBLP_JOIN_GRAPH
-    from repro.workloads.generator import RandomQueryGenerator
+def _train_demo_lantern():
+    """The quickstart-sized facade (kept out of import time).
+
+    Delegates to the canonical recipe in :mod:`repro.nlg.train`, whose
+    defaults *are* this demo — one place defines the serving conventions
+    (deterministic ``seed=None`` rule wording, rule-phase memo active).
+    """
+    from repro.nlg.train import train_workload_lantern
 
     print("training the demo NEURAL-LANTERN (DBLP workload) ...")
-    db = build_dblp_database(publication_count=300, seed=9)
-    generator = RandomQueryGenerator(db, DBLP_JOIN_GRAPH, seed=9)
-    queries = [generated.sql for generated in generator.generate(25)]
-    dataset = build_dataset([(db, queries, "postgresql", "dblp")], seed=9)
-    config = Seq2SeqConfig(
-        hidden_dim=48, attention_dim=24, learning_rate=0.005, batch_size=8, seed=9
-    )
-    model = QEP2Seq(dataset.input_vocabulary, dataset.output_vocabulary, config)
-    Trainer(model, dataset.train_samples[:220], dataset.validation_samples[:40], seed=9).train(
-        epochs=10, early_stopping_threshold=None
-    )
-    return NeuralLantern(model, dataset=dataset, beam_size=2)
+    lantern, _, _, _, _ = train_workload_lantern()
+    return lantern
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -45,10 +41,17 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument("--host", default=DEFAULT_HOST)
     parser.add_argument("--port", type=int, default=DEFAULT_PORT)
-    parser.add_argument(
+    generator = parser.add_mutually_exclusive_group()
+    generator.add_argument(
         "--neural",
         action="store_true",
         help="train and attach the demo neural generator (enables mode=neural/auto)",
+    )
+    generator.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="boot warm from a LANTERN-PERSIST checkpoint directory "
+        "(written by python -m repro.nlg.train)",
     )
     parser.add_argument(
         "--max-batch-size", type=int, default=32, help="requests fused per decode"
@@ -65,14 +68,18 @@ def main(argv: list[str] | None = None) -> None:
     args = parser.parse_args(argv)
 
     lantern = None
-    if args.neural:
-        from repro.core import Lantern, LanternConfig
+    if args.checkpoint:
+        from repro.core import Lantern
 
-        # same deterministic serving config LanternService defaults to:
-        # wording independent of arrival order, rule-phase memo active
-        lantern = Lantern(
-            neural=_train_demo_neural(), config=LanternConfig(seed=None)
+        started = time.perf_counter()
+        lantern = Lantern.load(args.checkpoint)
+        print(
+            f"loaded checkpoint {args.checkpoint} in "
+            f"{(time.perf_counter() - started) * 1000.0:.0f} ms "
+            f"(neural {'attached' if lantern.neural is not None else 'absent'})"
         )
+    elif args.neural:
+        lantern = _train_demo_lantern()
     service = build_service(
         lantern=lantern,
         host=args.host,

@@ -101,12 +101,39 @@ class MicroBatcher:
         self._worker.start()
 
     def stop(self, drain_timeout_s: float = 5.0) -> None:
-        """Stop the worker after letting queued requests finish."""
+        """Stop the worker after letting queued requests finish.
+
+        Requests that miss the drain window are failed **promptly** with
+        :class:`~repro.errors.ServiceTimeoutError` — leaving them queued
+        would park their submitter threads for the full
+        ``request_timeout_s`` with no worker left to answer them.
+        """
         self._stopping.set()
         worker = self._worker
         if worker is not None and worker.is_alive():
             worker.join(timeout=drain_timeout_s)
-        self._worker = None
+        if worker is None or not worker.is_alive():
+            self._worker = None
+        # else: the worker is stuck mid-narration past the drain window.  The
+        # reference is kept so start() cannot run a second worker alongside
+        # it — two workers would race the facade's single-threaded state.
+        # It exits on its own once it unblocks (_stopping stays set).
+        self._fail_pending("the service shut down before this narration was started")
+
+    def _fail_pending(self, reason: str) -> None:
+        """Answer every still-queued request with a timeout error.
+
+        Safe to run concurrently with a straggling worker: each request is
+        popped by exactly one side, so it is either narrated or failed,
+        never both and never neither.
+        """
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            request.error = ServiceTimeoutError(reason)
+            request.event.set()
 
     @property
     def queue_depth(self) -> int:
@@ -120,7 +147,13 @@ class MicroBatcher:
         self, tree: OperatorTree, mode: str = MODE_RULE, timeout_s: Optional[float] = None
     ) -> Narration:
         """Enqueue one narration and block until the worker answers it."""
-        if self._worker is None or not self._worker.is_alive():
+        worker = self._worker  # snapshot: a concurrent stop() may None it
+        if self._stopping.is_set():
+            # a stuck worker can survive stop() (reference kept, see above);
+            # it must not accept new work — without this gate a submission
+            # arriving after the drain would block for its full timeout
+            raise ServiceTimeoutError("the narration service is shutting down")
+        if worker is None or not worker.is_alive():
             raise ServiceTimeoutError("the narration worker is not running")
         request = _PendingRequest(tree, mode)
         try:
@@ -129,6 +162,23 @@ class MicroBatcher:
             raise ServiceOverloadError(
                 f"narration queue is full ({self.config.max_queue_depth} waiting); retry later"
             ) from None
+        # re-check after the enqueue: the worker can die (or stop() can
+        # begin) between the checks above and the put, in which case the
+        # request would sit unanswered until its full timeout.  An unset
+        # event with no live, accepting worker means nobody will ever
+        # answer — fail fast instead.  The request is failed in place (not
+        # just raised past): it stays queued, and a worker started later
+        # must see it as already answered rather than decode a narration
+        # nobody is waiting for.
+        worker = self._worker
+        if (
+            self._stopping.is_set() or worker is None or not worker.is_alive()
+        ) and not request.event.is_set():
+            request.error = ServiceTimeoutError(
+                "the narration worker exited before the request could be handled"
+            )
+            request.event.set()
+            raise request.error
         timeout = timeout_s if timeout_s is not None else self.config.request_timeout_s
         if not request.event.wait(timeout):
             # the worker may still answer later; the submitter has moved on
@@ -168,6 +218,9 @@ class MicroBatcher:
     def _run(self) -> None:
         while not (self._stopping.is_set() and self._queue.empty()):
             batch = self._collect_batch()
+            # requests already answered (failed fast by submit's liveness
+            # re-check before this worker started) must not be narrated again
+            batch = [request for request in batch if not request.event.is_set()]
             if not batch:
                 continue
             if self.telemetry is not None:

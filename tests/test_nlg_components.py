@@ -76,6 +76,19 @@ class TestVocabulary:
         vocabulary = Vocabulary.from_sequences([["a", "b"], ["b", "c"]])
         assert {"a", "b", "c"} <= set(vocabulary.tokens)
 
+    def test_from_tokens_is_id_exact(self):
+        original = Vocabulary(["perform", "scan", "<T>"])
+        rebuilt = Vocabulary.from_tokens(original.tokens)
+        assert rebuilt.tokens == original.tokens
+        assert rebuilt.id_of("<T>") == original.id_of("<T>")
+
+    def test_from_tokens_rejects_unreconstructable_lists(self):
+        with pytest.raises(VocabularyError, match="original id order"):
+            Vocabulary.from_tokens(["a", "b"])  # control tokens not leading
+        duplicated = Vocabulary(["a"]).tokens + ["a"]
+        with pytest.raises(VocabularyError, match="original id order"):
+            Vocabulary.from_tokens(duplicated)
+
 
 class TestMetrics:
     def test_bleu_identical_is_100(self):

@@ -151,6 +151,32 @@ class TestDatasetAndTraining:
         assert with_paraphrase.size > without.size
         assert without.size == len(without.groups)
 
+    def test_partial_final_batch_is_weighted_by_chunk_size(self):
+        """Regression: epoch metrics must weight per-batch means by chunk size.
+
+        5 samples at batch_size=4 split into chunks of 4 and 1.  The stub
+        reports loss 0.0 / accuracy 1.0 for the full chunk and loss 10.0 /
+        accuracy 0.0 for the single-sample remainder; the epoch metric must
+        be the per-sample mean (2.0 / 0.8), not the unweighted per-batch
+        mean (5.0 / 0.5) that overweights the partial batch.
+        """
+
+        class _StubModel:
+            def make_batch(self, sources, targets):
+                return len(sources)
+
+            def train_batch(self, chunk_size):
+                return (0.0, 1.0) if chunk_size == 4 else (10.0, 0.0)
+
+            evaluate_batch = train_batch
+
+        samples = _copy_task_samples()[:5]
+        trainer = Trainer(_StubModel(), samples, [], seed=0)
+        loss, accuracy = trainer._run_batches(samples, batch_size=4, train=True)
+        assert loss == pytest.approx(2.0)
+        assert accuracy == pytest.approx(0.8)
+        assert trainer._run_batches([], batch_size=4, train=False) == (0.0, 0.0)
+
     def test_trainer_records_history_and_early_stops(self):
         samples = _copy_task_samples()
         vocabulary = Vocabulary.from_sequences([s.source_tokens for s in samples])

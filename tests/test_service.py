@@ -291,8 +291,10 @@ class _BlockingLantern:
 
     def __init__(self) -> None:
         self.release = threading.Event()
+        self.calls = 0
 
     def describe_plans(self, trees, mode, collect_errors=True):
+        self.calls += 1
         assert self.release.wait(timeout=30)
         return [Narration(steps=[]) for _ in trees]
 
@@ -339,6 +341,114 @@ class TestAdmissionControl:
         batcher = MicroBatcher(_BlockingLantern())
         with pytest.raises(ServiceTimeoutError, match="not running"):
             batcher.submit(object())
+
+
+class TestShutdown:
+    def test_stop_fails_pending_requests_promptly(self):
+        """Regression: requests that miss the drain window must not block
+        their submitters for the full request_timeout_s."""
+        lantern = _BlockingLantern()
+        batcher = MicroBatcher(
+            lantern, BatcherConfig(max_batch_size=1, request_timeout_s=30.0)
+        )
+        batcher.start()
+        outcomes: list[object] = []
+
+        def call() -> None:
+            try:
+                outcomes.append(batcher.submit(object()))
+            except Exception as error:  # noqa: BLE001 - recorded for assertions
+                outcomes.append(error)
+
+        submitters = [threading.Thread(target=call, daemon=True) for _ in range(3)]
+        for submitter in submitters:
+            submitter.start()
+        deadline = time.monotonic() + 5
+        # the worker holds one request in flight; two more sit in the queue
+        while (
+            lantern.calls < 1 or batcher.queue_depth < 2
+        ) and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert lantern.calls == 1
+        assert batcher.queue_depth == 2
+
+        started = time.monotonic()
+        batcher.stop(drain_timeout_s=0.2)  # worker is blocked; drain expires
+        stop_elapsed = time.monotonic() - started
+        lantern.release.set()  # let the in-flight narration finish
+        for submitter in submitters:
+            submitter.join(timeout=5)
+        assert not any(submitter.is_alive() for submitter in submitters)
+
+        assert stop_elapsed < 5  # nowhere near request_timeout_s
+        shutdown_errors = [
+            outcome
+            for outcome in outcomes
+            if isinstance(outcome, ServiceTimeoutError) and "shut down" in str(outcome)
+        ]
+        assert len(shutdown_errors) == 2  # both queued requests failed promptly
+
+    def test_start_does_not_resurrect_a_stuck_worker(self):
+        """A worker stuck past the drain window keeps its slot: start() must
+        not run a second worker alongside it (the facade's state is only
+        safe under a single narration thread)."""
+        lantern = _BlockingLantern()
+        batcher = MicroBatcher(lantern, BatcherConfig(max_batch_size=1))
+        batcher.start()
+        first_worker = batcher._worker
+        submitter = threading.Thread(
+            target=lambda: batcher.submit(object()), daemon=True
+        )
+        submitter.start()
+        deadline = time.monotonic() + 5
+        while lantern.calls < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert lantern.calls == 1  # worker is now blocked mid-narration
+
+        batcher.stop(drain_timeout_s=0.1)  # join expires; worker still stuck
+        assert batcher._worker is first_worker  # reference kept ...
+        batcher.start()
+        assert batcher._worker is first_worker  # ... so start() is a no-op
+
+        lantern.release.set()
+        submitter.join(timeout=5)
+        first_worker.join(timeout=5)
+        assert not first_worker.is_alive()  # exits on its own once unblocked
+
+    def test_submit_rechecks_liveness_after_enqueue(self):
+        """Regression: a worker dying between the aliveness check and the
+        enqueue must not strand the request until its timeout."""
+        lantern = _BlockingLantern()
+        batcher = MicroBatcher(lantern)
+        hold = threading.Event()
+        fake_worker = threading.Thread(target=hold.wait, daemon=True)
+        fake_worker.start()
+        batcher._worker = fake_worker  # alive at the pre-check ...
+
+        real_put = batcher._queue.put_nowait
+
+        def racing_put(request):
+            real_put(request)
+            hold.set()  # ... dead right after the enqueue
+            fake_worker.join(timeout=5)
+
+        batcher._queue.put_nowait = racing_put
+        started = time.monotonic()
+        with pytest.raises(ServiceTimeoutError, match="worker exited"):
+            batcher.submit(object(), timeout_s=10.0)
+        assert time.monotonic() - started < 5  # failed fast, not at timeout_s
+
+        # the orphan is still queued but already answered: a restarted worker
+        # must drain it WITHOUT narrating it for a submitter that left
+        batcher._queue.put_nowait = real_put
+        lantern.release.set()
+        batcher.start()
+        deadline = time.monotonic() + 5
+        while batcher.queue_depth and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert batcher.queue_depth == 0
+        assert lantern.calls == 0  # skipped, not decoded
+        batcher.stop()
 
 
 class TestTelemetry:
