@@ -69,6 +69,29 @@ class TrainingDataset:
         return len(self.samples)
 
 
+def length_bucketed_chunks(
+    samples: Sequence[TrainingSample], batch_size: int
+) -> list[list[TrainingSample]]:
+    """Group samples of similar source+target length into batches.
+
+    Every padded batch is as wide as its longest member, so a mixed-length
+    epoch wastes most of its matmul work on pad positions.  A *stable* sort
+    by total (source + target) length over the incoming order, chunked
+    sequentially, keeps near-equal lengths together while staying fully
+    deterministic: the randomness comes from the caller's (seeded) shuffle,
+    which the stable sort preserves among equal-length samples.  With
+    uniform-length data the schedule therefore degenerates to the unbucketed
+    one batch-for-batch — the regression tests rely on exactly that.
+
+    Only the final chunk can be partial, and the Trainer weights per-batch
+    means by chunk size either way (the PR 3 epoch-metric fix).
+    """
+    ordered = sorted(
+        samples, key=lambda sample: len(sample.source_tokens) + len(sample.target_tokens)
+    )
+    return [ordered[start : start + batch_size] for start in range(0, len(ordered), batch_size)]
+
+
 def abstract_step(step: NarrationStep) -> tuple[str, TagMapping]:
     """Abstract one narration step into its tagged form."""
     return abstract_step_text(

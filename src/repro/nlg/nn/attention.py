@@ -1,4 +1,22 @@
-"""Additive (Bahdanau) attention with manual gradients (paper Equations 8–10)."""
+"""Additive (Bahdanau) attention with manual gradients (paper Equations 8–10).
+
+Two training-time implementations coexist:
+
+* :meth:`AdditiveAttention.forward` / :meth:`AdditiveAttention.backward` —
+  the kept per-decoder-step reference path (one :class:`AttentionCache` per
+  step);
+* :meth:`AdditiveAttention.forward_fused` /
+  :meth:`AdditiveAttention.backward_fused` — the turbo path: under teacher
+  forcing the context vector never feeds back into the decoder recurrence,
+  so attention for *all* decoder timesteps runs as one fused call producing
+  ``(B, T_dec, T_enc)`` weights and ``(B, T_dec, He)`` contexts.  This also
+  hoists ``project_encoder`` (the ``(B, T_enc, He) @ (He, A)`` matmul) out
+  of the per-step loop — the reference path recomputes it at every decoder
+  step, a redundancy inference already avoided via :meth:`step_context`.
+
+Parity between the two paths is asserted to ``allclose(rtol=1e-9)`` on
+contexts, weights, and every gradient (``tests/test_nlg_train_turbo.py``).
+"""
 
 from __future__ import annotations
 
@@ -23,13 +41,42 @@ class AttentionCache:
     context: np.ndarray
 
 
+@dataclass
+class AttentionSequenceCache:
+    """Structure-of-arrays forward cache for one fused attention pass.
+
+    Covers all ``T_dec`` decoder states at once — the per-step
+    :class:`AttentionCache` list of the reference path collapses into a few
+    preallocated tensors read back as views on backward.
+    """
+
+    decoder_states: np.ndarray  # (B, Td, Hd)
+    encoder_states: np.ndarray  # (B, Te, He)
+    mask: Optional[np.ndarray]  # (B, Te)
+    scores_tanh: np.ndarray  # (B, Td, Te, A)
+    weights: np.ndarray  # (B, Td, Te)
+
+
 class AdditiveAttention:
     """score(s, h_i) = v^T tanh(W_s s + W_h h_i)."""
 
-    def __init__(self, decoder_dim: int, encoder_dim: int, attention_dim: int, rng: np.random.Generator) -> None:
-        self.weight_decoder = Parameter.uniform((decoder_dim, attention_dim), rng, name="attention.weight_decoder")
-        self.weight_encoder = Parameter.uniform((encoder_dim, attention_dim), rng, name="attention.weight_encoder")
-        self.score_vector = Parameter.uniform((attention_dim,), rng, name="attention.score_vector")
+    def __init__(
+        self,
+        decoder_dim: int,
+        encoder_dim: int,
+        attention_dim: int,
+        rng: np.random.Generator,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        self.weight_decoder = Parameter.uniform(
+            (decoder_dim, attention_dim), rng, name="attention.weight_decoder", dtype=dtype
+        )
+        self.weight_encoder = Parameter.uniform(
+            (encoder_dim, attention_dim), rng, name="attention.weight_encoder", dtype=dtype
+        )
+        self.score_vector = Parameter.uniform(
+            (attention_dim,), rng, name="attention.score_vector", dtype=dtype
+        )
 
     def _score_and_mix(
         self,
@@ -105,6 +152,90 @@ class AdditiveAttention:
             decoder_state, encoder_states, projected_encoder, mask
         )
         return context
+
+    def forward_fused(
+        self,
+        decoder_states: np.ndarray,
+        encoder_states: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray, AttentionSequenceCache]:
+        """Context vectors for *all* decoder timesteps in one fused pass.
+
+        ``decoder_states`` (B, Td, Hd); ``encoder_states`` (B, Te, He);
+        ``mask`` (B, Te).  Returns (contexts (B, Td, He), weights
+        (B, Td, Te), cache).  The encoder projection is computed once for
+        the whole sequence — the per-step reference path redoes that
+        ``(B, Te, He) @ (He, A)`` matmul at every decoder step.  Row-wise
+        the score/softmax/mix math is identical to :meth:`_score_and_mix`.
+        """
+        projected_encoder = self.project_encoder(encoder_states)  # (B, Te, A), once
+        projected_decoder = decoder_states @ self.weight_decoder.value  # (B, Td, A)
+        scores_tanh = np.tanh(
+            projected_encoder[:, None, :, :] + projected_decoder[:, :, None, :]
+        )  # (B, Td, Te, A)
+        scores = scores_tanh @ self.score_vector.value  # (B, Td, Te)
+        if mask is not None:
+            scores = np.where(mask[:, None, :] > 0, scores, -1e9)
+        weights = softmax(scores, axis=2)
+        contexts = weights @ encoder_states  # (B, Td, Te) @ (B, Te, He)
+        cache = AttentionSequenceCache(
+            decoder_states=decoder_states,
+            encoder_states=encoder_states,
+            mask=mask,
+            scores_tanh=scores_tanh,
+            weights=weights,
+        )
+        return contexts, weights, cache
+
+    def backward_fused(
+        self,
+        cache: AttentionSequenceCache,
+        grad_contexts: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Backward for one fused :meth:`forward_fused` pass.
+
+        ``grad_contexts`` (B, Td, He).  Returns gradients w.r.t. the decoder
+        states (B, Td, Hd) and the encoder states (B, Te, He); parameter
+        gradients are accumulated.  One batched contraction per term instead
+        of one per decoder step.
+        """
+        weights = cache.weights  # (B, Td, Te)
+        encoder_states = cache.encoder_states
+
+        # contexts = weights @ encoder_states
+        grad_weights = grad_contexts @ encoder_states.transpose(0, 2, 1)  # (B, Td, Te)
+        grad_encoder = weights.transpose(0, 2, 1) @ grad_contexts  # (B, Te, He)
+
+        # softmax backward, per (batch, decoder-step) row
+        dot = np.sum(grad_weights * weights, axis=2, keepdims=True)
+        grad_scores = weights * (grad_weights - dot)
+        if cache.mask is not None:
+            grad_scores = np.where(cache.mask[:, None, :] > 0, grad_scores, 0.0)
+
+        # scores = tanh(...) @ v — the (b, d, t) axes contract away, so the
+        # einsums flatten into plain 2D matmuls (BLAS instead of c_einsum)
+        attention_dim = self.score_vector.value.shape[0]
+        flat_scores_tanh = cache.scores_tanh.reshape(-1, attention_dim)
+        self.score_vector.grad += grad_scores.reshape(-1) @ flat_scores_tanh
+        grad_pre = grad_scores[:, :, :, None] * self.score_vector.value
+        grad_pre *= 1.0 - cache.scores_tanh ** 2  # (B, Td, Te, A), in place
+
+        # pre = encoder @ W_h + decoder @ W_s; the encoder term is shared
+        # across decoder steps, so its gradient sums over Td (and vice versa)
+        grad_pre_encoder = grad_pre.sum(axis=1)  # (B, Te, A)
+        grad_pre_decoder = grad_pre.sum(axis=2)  # (B, Td, A)
+        encoder_dim = encoder_states.shape[-1]
+        decoder_dim = cache.decoder_states.shape[-1]
+        self.weight_encoder.grad += (
+            encoder_states.reshape(-1, encoder_dim).T @ grad_pre_encoder.reshape(-1, attention_dim)
+        )
+        self.weight_decoder.grad += (
+            cache.decoder_states.reshape(-1, decoder_dim).T
+            @ grad_pre_decoder.reshape(-1, attention_dim)
+        )
+        grad_encoder += grad_pre_encoder @ self.weight_encoder.value.T
+        grad_decoders = grad_pre_decoder @ self.weight_decoder.value.T
+        return grad_decoders, grad_encoder
 
     def backward(
         self,

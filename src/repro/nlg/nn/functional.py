@@ -5,13 +5,27 @@ from __future__ import annotations
 import numpy as np
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
-    positive = x >= 0
-    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
-    exp_x = np.exp(x[~positive])
-    out[~positive] = exp_x / (1.0 + exp_x)
+def sigmoid(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Numerically stable logistic sigmoid (preserves the input's float dtype).
+
+    Branchless formulation: with ``z = exp(-|x|)`` (never overflows),
+    ``sigmoid(x) = 1 / (1 + z)`` for ``x >= 0`` and ``z / (1 + z)``
+    otherwise — bit-identical to the two-branch masked version it replaces
+    (``exp(-|x|)`` equals ``exp(-x)`` / ``exp(x)`` exactly on each branch)
+    but without the fancy-indexing round trips, which dominated the cost on
+    the small per-timestep arrays of the LSTM recurrence.  ``out`` lets the
+    hot loops write the result straight into a preallocated (possibly
+    strided) buffer.
+    """
+    z = np.exp(-np.abs(x))
+    # the scalar 1.0 is cast to z's dtype up front: NumPy 1.x value-based
+    # casting would otherwise promote float32 inputs to float64 here
+    numerator = np.where(x >= 0, z.dtype.type(1.0), z)
+    z += 1.0
+    if out is None:
+        numerator /= z
+        return numerator
+    np.divide(numerator, z, out=out)
     return out
 
 

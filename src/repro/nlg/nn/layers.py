@@ -11,16 +11,32 @@ INIT_RANGE = 0.1
 
 
 class Parameter:
-    """A trainable array with its accumulated gradient."""
+    """A trainable array with its accumulated gradient.
 
-    def __init__(self, value: np.ndarray, name: str = "") -> None:
-        self.value = np.asarray(value, dtype=np.float64)
+    ``dtype`` defaults to float64 (exact parity with the original paper
+    math); float32 halves memory/bandwidth and is threaded down from
+    ``Seq2SeqConfig.dtype``.  The gradient always shares the value's dtype.
+    """
+
+    def __init__(
+        self, value: np.ndarray, name: str = "", dtype: np.dtype | type = np.float64
+    ) -> None:
+        self.value = np.asarray(value, dtype=dtype)
         self.grad = np.zeros_like(self.value)
         self.name = name
 
     @classmethod
-    def uniform(cls, shape: tuple[int, ...], rng: np.random.Generator, name: str = "") -> "Parameter":
-        return cls(rng.uniform(-INIT_RANGE, INIT_RANGE, size=shape), name=name)
+    def uniform(
+        cls,
+        shape: tuple[int, ...],
+        rng: np.random.Generator,
+        name: str = "",
+        dtype: np.dtype | type = np.float64,
+    ) -> "Parameter":
+        # the rng draw is always float64, then cast: a float32 model's
+        # initialization is the rounded float64 initialization, and the rng
+        # stream position is dtype-independent
+        return cls(rng.uniform(-INIT_RANGE, INIT_RANGE, size=shape), name=name, dtype=dtype)
 
     def zero_grad(self) -> None:
         self.grad.fill(0.0)
@@ -36,9 +52,16 @@ class Parameter:
 class Dense:
     """A fully connected layer ``y = x W + b``."""
 
-    def __init__(self, input_dim: int, output_dim: int, rng: np.random.Generator, name: str = "dense") -> None:
-        self.weight = Parameter.uniform((input_dim, output_dim), rng, name=f"{name}.weight")
-        self.bias = Parameter(np.zeros(output_dim), name=f"{name}.bias")
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        rng: np.random.Generator,
+        name: str = "dense",
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        self.weight = Parameter.uniform((input_dim, output_dim), rng, name=f"{name}.weight", dtype=dtype)
+        self.bias = Parameter(np.zeros(output_dim), name=f"{name}.bias", dtype=dtype)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return x @ self.weight.value + self.bias.value
@@ -66,6 +89,7 @@ class Embedding:
         pretrained: np.ndarray | None = None,
         trainable: bool = True,
         name: str = "embedding",
+        dtype: np.dtype | type = np.float64,
     ) -> None:
         if pretrained is not None:
             if pretrained.shape != (vocabulary_size, dimension):
@@ -73,10 +97,10 @@ class Embedding:
                     f"pretrained matrix has shape {pretrained.shape}, expected "
                     f"{(vocabulary_size, dimension)}"
                 )
-            initial = np.array(pretrained, dtype=np.float64)
+            initial = np.array(pretrained)
         else:
             initial = rng.uniform(-INIT_RANGE, INIT_RANGE, size=(vocabulary_size, dimension))
-        self.table = Parameter(initial, name=f"{name}.table")
+        self.table = Parameter(initial, name=f"{name}.table", dtype=dtype)
         self.trainable = trainable
         self.dimension = dimension
         self.vocabulary_size = vocabulary_size

@@ -1,10 +1,16 @@
-"""Losses: masked sequence cross entropy (Equation 12)."""
+"""Losses: masked sequence cross entropy (Equation 12).
+
+The loss is computed from the log-softmax directly (one shift, one
+log-sum-exp) instead of the former ``softmax`` → ``clip`` → ``log`` chain,
+and the gradient reuses the probabilities buffer in place instead of copying
+it — this is the hottest allocation in training (two ``(B·T, V)``
+temporaries per batch on the old path, none beyond the probabilities
+themselves now).
+"""
 
 from __future__ import annotations
 
 import numpy as np
-
-from repro.nlg.nn.functional import softmax
 
 
 def cross_entropy_from_logits(
@@ -16,18 +22,26 @@ def cross_entropy_from_logits(
     The mean is taken over unmasked tokens, as is the gradient scaling.
     """
     batch, steps, vocabulary = logits.shape
-    probabilities = softmax(logits, axis=-1)
-    flat_probabilities = probabilities.reshape(-1, vocabulary)
+    flat_logits = logits.reshape(-1, vocabulary)
     flat_targets = targets.reshape(-1)
-    picked = flat_probabilities[np.arange(flat_targets.size), flat_targets]
-    log_likelihood = -np.log(np.clip(picked, 1e-12, None))
+    rows = np.arange(flat_targets.size)
+
+    # log-softmax directly: shifted - log(sum(exp(shifted)))
+    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+    probabilities = np.exp(shifted)
+    normalizers = probabilities.sum(axis=1)
+    log_likelihood = np.log(normalizers) - shifted[rows, flat_targets]
+
     if mask is None:
-        mask = np.ones((batch, steps))
+        mask = np.ones((batch, steps), dtype=logits.dtype)
     flat_mask = mask.reshape(-1)
     total = max(flat_mask.sum(), 1.0)
     loss = float((log_likelihood * flat_mask).sum() / total)
 
-    grad = flat_probabilities.copy()
-    grad[np.arange(flat_targets.size), flat_targets] -= 1.0
+    # the gradient is softmax - one_hot(target): normalize the probabilities
+    # buffer in place and reuse it as the gradient — no (B·T, V) copy
+    grad = probabilities
+    grad /= normalizers[:, None]
+    grad[rows, flat_targets] -= 1.0
     grad *= (flat_mask / total)[:, None]
     return loss, grad.reshape(batch, steps, vocabulary)

@@ -1,10 +1,115 @@
-"""Optimizers: plain SGD (the paper's choice) and Adam (used by the embedding trainers)."""
+"""Optimizers: plain SGD (the paper's choice) and Adam (used by QEP2Seq training).
+
+Both are vectorized across the *whole parameter set*: when every parameter
+shares one dtype (the normal case — ``Seq2SeqConfig.dtype`` governs the
+model uniformly), values and gradients are repacked as views into two
+contiguous flat buffers (:class:`_FlatParameterSpace`), so one optimizer
+step is a fixed handful of full-width kernels instead of a dozen small
+kernels *per parameter*.  Gradient clipping becomes a single BLAS dot, and
+``zero_grad`` a single ``fill``.  Layers keep mutating ``parameter.value``
+/ ``parameter.grad`` in place, which writes through the views; code that
+*rebinds* those attributes (tests, ad-hoc scripts) is re-adopted into the
+flat space at the next ``step``/``zero_grad``.
+
+Adam's inner loop allocates nothing per step: no ``m_hat`` / ``v_hat``
+arrays are ever materialized — the bias corrections fold into the step size
+and the denominator, and every element-wise kernel writes into the moment
+buffers or one preallocated scratch buffer.
+"""
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
 from repro.nlg.nn.layers import Parameter
+
+
+class _FlatParameterSpace:
+    """Values and gradients of many parameters as views into flat buffers."""
+
+    def __init__(self, parameters: list[Parameter]) -> None:
+        self.parameters = parameters
+        dtype = parameters[0].value.dtype
+        total = sum(parameter.size for parameter in parameters)
+        self.values = np.empty(total, dtype=dtype)
+        self.grads = np.zeros(total, dtype=dtype)
+        self._value_views: list[np.ndarray] = []
+        self._grad_views: list[np.ndarray] = []
+        offset = 0
+        for parameter in parameters:
+            count = parameter.size
+            shape = parameter.value.shape
+            self.values[offset : offset + count] = parameter.value.reshape(-1)
+            self.grads[offset : offset + count] = parameter.grad.reshape(-1)
+            value_view = self.values[offset : offset + count].reshape(shape)
+            grad_view = self.grads[offset : offset + count].reshape(shape)
+            parameter.value = value_view
+            parameter.grad = grad_view
+            self._value_views.append(value_view)
+            self._grad_views.append(grad_view)
+            offset += count
+
+    @classmethod
+    def try_build(cls, parameters: list[Parameter]) -> "_FlatParameterSpace | None":
+        """Flat packing needs at least one parameter, unique objects, and one
+        shared dtype; anything else falls back to the per-parameter path."""
+        if not parameters:
+            return None
+        if len({id(parameter) for parameter in parameters}) != len(parameters):
+            return None
+        dtypes = {parameter.value.dtype for parameter in parameters}
+        dtypes.update(parameter.grad.dtype for parameter in parameters)
+        if len(dtypes) != 1:
+            return None
+        return cls(parameters)
+
+    def adopt(self) -> None:
+        """Re-absorb any value/grad arrays external code rebound since the
+        last step, so ``p.grad = fresh_array`` idioms keep working."""
+        for parameter, value_view, grad_view in zip(
+            self.parameters, self._value_views, self._grad_views
+        ):
+            if parameter.value is not value_view:
+                value_view[...] = parameter.value
+                parameter.value = value_view
+            if parameter.grad is not grad_view:
+                grad_view[...] = parameter.grad
+                parameter.grad = grad_view
+
+    def rebind_grads(self) -> None:
+        """Point every parameter's grad back at its flat view (no copy)."""
+        for parameter, grad_view in zip(self.parameters, self._grad_views):
+            if parameter.grad is not grad_view:
+                parameter.grad = grad_view
+
+    def clip_global_norm(self, clip_norm: float) -> float:
+        """Single-dot global-norm clip over the flat gradient buffer."""
+        total = math.sqrt(float(self.grads @ self.grads))
+        if total > clip_norm > 0:
+            self.grads *= clip_norm / total
+        return total
+
+
+def clip_global_norm(parameters: list[Parameter], clip_norm: float) -> float:
+    """Scale all gradients in place so their global L2 norm is ≤ ``clip_norm``.
+
+    The squared norm is accumulated with one BLAS dot per parameter (no
+    ``grad ** 2`` temporaries); returns the pre-clip norm.  The flat-packed
+    optimizers use :meth:`_FlatParameterSpace.clip_global_norm` (one dot
+    total) instead; this is the shared fallback for loose parameter lists.
+    """
+    total_squared = 0.0
+    for parameter in parameters:
+        flat = parameter.grad.reshape(-1)
+        total_squared += float(flat @ flat)
+    total = math.sqrt(total_squared)
+    if total > clip_norm > 0:
+        scale = clip_norm / total
+        for parameter in parameters:
+            parameter.grad *= scale
+    return total
 
 
 class SGD:
@@ -14,24 +119,40 @@ class SGD:
         self.parameters = parameters
         self.learning_rate = learning_rate
         self.clip_norm = clip_norm
+        self._flat = _FlatParameterSpace.try_build(parameters)
+        self._scratch = np.empty_like(self._flat.values) if self._flat is not None else None
 
     def step(self) -> None:
+        if self._flat is not None:
+            self._flat.adopt()
+            if self.clip_norm is not None:
+                self._flat.clip_global_norm(self.clip_norm)
+            np.multiply(self._flat.grads, self.learning_rate, out=self._scratch)
+            self._flat.values -= self._scratch
+            return
         if self.clip_norm is not None:
-            total = np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in self.parameters))
-            if total > self.clip_norm and total > 0:
-                scale = self.clip_norm / total
-                for parameter in self.parameters:
-                    parameter.grad *= scale
+            clip_global_norm(self.parameters, self.clip_norm)
         for parameter in self.parameters:
             parameter.value -= self.learning_rate * parameter.grad
 
     def zero_grad(self) -> None:
+        if self._flat is not None:
+            self._flat.rebind_grads()
+            self._flat.grads.fill(0.0)
+            return
         for parameter in self.parameters:
             parameter.zero_grad()
 
 
 class Adam:
-    """Adam with the usual bias correction."""
+    """Adam with the usual bias correction, updated fully in place.
+
+    With a flat parameter space the whole step is ~13 full-width kernels
+    (total, not per parameter).  ``m_hat`` / ``v_hat`` are never
+    materialized: the bias corrections fold into the step size and the
+    denominator.  ``clip_norm`` (default off, matching the historical
+    behaviour) applies the same global-norm clip as SGD.
+    """
 
     def __init__(
         self,
@@ -40,25 +161,65 @@ class Adam:
         beta1: float = 0.9,
         beta2: float = 0.999,
         epsilon: float = 1e-8,
+        clip_norm: float | None = None,
     ) -> None:
         self.parameters = parameters
         self.learning_rate = learning_rate
         self.beta1 = beta1
         self.beta2 = beta2
         self.epsilon = epsilon
-        self._m = [np.zeros_like(p.value) for p in parameters]
-        self._v = [np.zeros_like(p.value) for p in parameters]
+        self.clip_norm = clip_norm
+        self._flat = _FlatParameterSpace.try_build(parameters)
+        if self._flat is not None:
+            self._m = [np.zeros_like(self._flat.values)]
+            self._v = [np.zeros_like(self._flat.values)]
+            self._scratch = [np.empty_like(self._flat.values)]
+        else:
+            self._m = [np.zeros_like(p.value) for p in parameters]
+            self._v = [np.zeros_like(p.value) for p in parameters]
+            self._scratch = [np.empty_like(p.value) for p in parameters]
         self._t = 0
 
     def step(self) -> None:
+        if self._flat is not None:
+            self._flat.adopt()
+            if self.clip_norm is not None:
+                self._flat.clip_global_norm(self.clip_norm)
+            self._t += 1
+            self._update(self._flat.values, self._flat.grads, 0)
+            return
+        if self.clip_norm is not None:
+            clip_global_norm(self.parameters, self.clip_norm)
         self._t += 1
         for index, parameter in enumerate(self.parameters):
-            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * parameter.grad
-            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * parameter.grad ** 2
-            m_hat = self._m[index] / (1 - self.beta1 ** self._t)
-            v_hat = self._v[index] / (1 - self.beta2 ** self._t)
-            parameter.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            self._update(parameter.value, parameter.grad, index)
+
+    def _update(self, value: np.ndarray, grad: np.ndarray, index: int) -> None:
+        m, v, scratch = self._m[index], self._v[index], self._scratch[index]
+        correction1 = 1 - self.beta1 ** self._t
+        correction2 = 1 - self.beta2 ** self._t
+        # m = beta1 * m + (1 - beta1) * grad, in place
+        m *= self.beta1
+        np.multiply(grad, 1 - self.beta1, out=scratch)
+        m += scratch
+        # v = beta2 * v + (1 - beta2) * grad², in place
+        v *= self.beta2
+        np.multiply(grad, grad, out=scratch)
+        scratch *= 1 - self.beta2
+        v += scratch
+        # value -= lr * (m / c1) / (sqrt(v / c2) + eps), via the scratch
+        # buffer: sqrt(v_hat) = sqrt(v) / sqrt(c2) element-for-element
+        np.sqrt(v, out=scratch)
+        scratch /= math.sqrt(correction2)
+        scratch += self.epsilon
+        np.divide(m, scratch, out=scratch)
+        scratch *= self.learning_rate / correction1
+        value -= scratch
 
     def zero_grad(self) -> None:
+        if self._flat is not None:
+            self._flat.rebind_grads()
+            self._flat.grads.fill(0.0)
+            return
         for parameter in self.parameters:
             parameter.zero_grad()

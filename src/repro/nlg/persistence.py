@@ -23,7 +23,9 @@ Three object kinds round-trip, each strictly containing the previous:
 
 A model loaded from a checkpoint produces **token-identical** narrations to
 the model that was saved: weights, vocabulary ids, beam width, exposure
-counters and cache contents are all restored bit-for-bit.  Optimizer moments
+counters and cache contents are all restored bit-for-bit.  The model dtype
+travels in the manifest (``Seq2SeqConfig.dtype``) and the npz archive keeps
+array dtypes, so a float32 model round-trips as float32.  Optimizer moments
 (Adam's m/v) are *not* persisted — checkpoints capture a narrator ready to
 serve, not a training run mid-flight; continuing training from a checkpoint
 restarts the optimizer state.
@@ -363,6 +365,10 @@ def _restore_model(section: dict[str, Any], weights: dict[str, np.ndarray]) -> Q
                     f"archive holds {list(weights[name].shape)}"
                 )
     config = _build_config(Seq2SeqConfig, section.get("config"), "model config")
+    # the manifest's config.dtype governs reconstruction: a float32 model
+    # round-trips as float32 (the npz archive preserves array dtypes, and
+    # every restored value below is cast to the model dtype)
+    dtype = np.dtype(getattr(config, "dtype", "float64"))
     input_vocabulary = _restore_vocabulary(section.get("input_tokens"), "input")
     output_vocabulary = _restore_vocabulary(section.get("output_tokens"), "output")
     decoder_table = weights.get("decoder_embedding.table")
@@ -378,7 +384,7 @@ def _restore_model(section: dict[str, Any], weights: dict[str, np.ndarray]) -> Q
         input_vocabulary,
         output_vocabulary,
         config=config,
-        decoder_pretrained=np.asarray(decoder_table, dtype=np.float64),
+        decoder_pretrained=np.asarray(decoder_table, dtype=dtype),
     )
     expected = {parameter.name: parameter for parameter in model.parameters()}
     if set(expected) != set(weights):
@@ -389,7 +395,7 @@ def _restore_model(section: dict[str, Any], weights: dict[str, np.ndarray]) -> Q
             f"(missing: {missing or 'none'}, unexpected: {unexpected or 'none'})"
         )
     for name, parameter in expected.items():
-        saved = np.asarray(weights[name], dtype=np.float64)
+        saved = np.asarray(weights[name], dtype=dtype)
         if saved.shape != parameter.value.shape:
             raise CheckpointIntegrityError(
                 f"weight {name!r} has shape {saved.shape}, the model expects "

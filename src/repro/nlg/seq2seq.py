@@ -16,6 +16,27 @@ Both paths are guaranteed to emit token-for-token the same output as the
 unbatched reference decoder (kept as
 :meth:`QEP2Seq.beam_decode_candidates_sequential`); finished beams are simply
 dropped from the fused batch instead of being masked-and-recomputed.
+
+Training is vectorized the same way (the TRAIN-TURBO path, the default):
+
+* the input-side gate matmuls of both LSTMs are hoisted out of the
+  recurrences (:meth:`~repro.nlg.nn.lstm.LSTM.forward_fused`);
+* because teacher forcing never feeds the context vector back into the
+  decoder recurrence (it only enters the output concat), the decoder LSTM
+  runs *before* attention, and attention for all decoder timesteps runs as
+  one fused call (:meth:`~repro.nlg.nn.attention.AdditiveAttention.forward_fused`)
+  — which also hoists the encoder projection the reference path recomputed
+  at every decoder step;
+* the backward pass mirrors both fusions
+  (:meth:`~repro.nlg.nn.lstm.LSTM.backward_fused` /
+  :meth:`~repro.nlg.nn.attention.AdditiveAttention.backward_fused`).
+
+The step-wise reference path is kept (``Seq2SeqConfig(turbo=False)``) and
+the parity contract is enforced by ``tests/test_nlg_train_turbo.py``: with
+``float64`` every per-batch loss/accuracy and all parameter gradients match
+the reference to ``allclose(rtol=1e-9)``, and identical-seed training runs
+narrate token-identically.  ``Seq2SeqConfig.dtype`` selects ``float64``
+(default, exact parity) or ``float32`` (~2× memory/bandwidth savings).
 """
 
 from __future__ import annotations
@@ -57,6 +78,14 @@ class Seq2SeqConfig:
     max_decode_length: int = 60
     beam_size: int = 4
     embedding_name: str = "random"
+    #: True (default) runs the fused TRAIN-TURBO forward/backward; False the
+    #: kept step-wise reference path.  Parity between the two is asserted to
+    #: allclose(rtol=1e-9) on loss and every parameter gradient.
+    turbo: bool = True
+    #: "float64" (default) for exact reference parity; "float32" halves
+    #: parameter/activation memory and bandwidth.  Recorded in checkpoint
+    #: manifests so a saved float32 model round-trips as float32.
+    dtype: str = "float64"
 
 
 @dataclass
@@ -81,6 +110,18 @@ class _ForwardCache:
     logits: Optional[np.ndarray] = None
 
 
+@dataclass
+class _TurboForwardCache:
+    """Forward values of the fused path: three SoA caches instead of three
+    per-timestep object lists."""
+
+    encoder_cache: object  # LSTMSequenceCache
+    decoder_cache: object  # LSTMSequenceCache
+    attention_cache: object  # AttentionSequenceCache
+    concatenated: np.ndarray
+    logits: np.ndarray
+
+
 class QEP2Seq:
     """The sequence-to-sequence translation model for acts."""
 
@@ -94,6 +135,11 @@ class QEP2Seq:
         self.config = config if config is not None else Seq2SeqConfig()
         self.input_vocabulary = input_vocabulary
         self.output_vocabulary = output_vocabulary
+        if self.config.dtype not in ("float64", "float32"):
+            raise ModelConfigError(
+                f"unsupported dtype {self.config.dtype!r}; expected 'float64' or 'float32'"
+            )
+        self.dtype = np.dtype(self.config.dtype)
         rng = np.random.default_rng(self.config.seed)
 
         decoder_dim = self.config.decoder_embedding_dim
@@ -108,23 +154,29 @@ class QEP2Seq:
             # sharing the recurrent weights requires identical input widths
             encoder_dim = decoder_dim
 
-        self.encoder_embedding = Embedding(len(input_vocabulary), encoder_dim, rng, name="encoder_embedding")
+        self.encoder_embedding = Embedding(
+            len(input_vocabulary), encoder_dim, rng, name="encoder_embedding", dtype=self.dtype
+        )
         self.decoder_embedding = Embedding(
             len(output_vocabulary),
             decoder_dim,
             rng,
             pretrained=decoder_pretrained,
             name="decoder_embedding",
+            dtype=self.dtype,
         )
-        self.encoder = LSTM(encoder_dim, self.config.hidden_dim, rng, name="encoder")
+        self.encoder = LSTM(encoder_dim, self.config.hidden_dim, rng, name="encoder", dtype=self.dtype)
         if self.config.share_weights:
             self.decoder = self.encoder
         else:
-            self.decoder = LSTM(decoder_dim, self.config.hidden_dim, rng, name="decoder")
+            self.decoder = LSTM(decoder_dim, self.config.hidden_dim, rng, name="decoder", dtype=self.dtype)
         self.attention = AdditiveAttention(
-            self.config.hidden_dim, self.config.hidden_dim, self.config.attention_dim, rng
+            self.config.hidden_dim, self.config.hidden_dim, self.config.attention_dim, rng,
+            dtype=self.dtype,
         )
-        self.output_layer = Dense(2 * self.config.hidden_dim, len(output_vocabulary), rng, name="output")
+        self.output_layer = Dense(
+            2 * self.config.hidden_dim, len(output_vocabulary), rng, name="output", dtype=self.dtype
+        )
         if self.config.optimizer == "adam":
             self.optimizer = Adam(self.parameters(), learning_rate=max(self.config.learning_rate, 0.002))
         else:
@@ -159,25 +211,115 @@ class QEP2Seq:
     # batching
     # ------------------------------------------------------------------
 
+    def encode_pair(self, source_tokens: list[str], target_tokens: list[str]) -> tuple[list[int], list[int]]:
+        """Vocabulary-encode one (source, target) pair for :meth:`make_batch_encoded`.
+
+        The Trainer encodes every sample once up front and reuses the id
+        rows across epochs, instead of redoing the vocabulary lookups for
+        every chunk of every epoch.
+        """
+        return (
+            self.input_vocabulary.encode(source_tokens),
+            self.output_vocabulary.encode(target_tokens, add_end=True),
+        )
+
     def make_batch(self, sources: list[list[str]], targets: list[list[str]]) -> Batch:
         """Pad and encode token sequences into one training batch."""
-        encoder_ids = [self.input_vocabulary.encode(tokens) for tokens in sources]
-        target_ids = [self.output_vocabulary.encode(tokens, add_end=True) for tokens in targets]
+        return self.make_batch_encoded(
+            [self.encode_pair(source, target) for source, target in zip(sources, targets)]
+        )
+
+    def make_batch_encoded(self, pairs: list[tuple[list[int], list[int]]]) -> Batch:
+        """Pad pre-encoded (encoder ids, target ids) pairs into one batch."""
+        encoder_ids = [pair[0] for pair in pairs]
+        target_ids = [pair[1] for pair in pairs]
         input_ids = [
             [self.output_vocabulary.bos_id] + ids[:-1] for ids in target_ids
         ]
-        encoder_matrix, encoder_mask = _pad_and_mask(encoder_ids, self.input_vocabulary.pad_id)
-        decoder_targets, decoder_mask = _pad_and_mask(target_ids, self.output_vocabulary.pad_id)
+        encoder_matrix, encoder_mask = _pad_and_mask(
+            encoder_ids, self.input_vocabulary.pad_id, dtype=self.dtype
+        )
+        decoder_targets, decoder_mask = _pad_and_mask(
+            target_ids, self.output_vocabulary.pad_id, dtype=self.dtype
+        )
         # input rows mirror target rows one-for-one in length, so they pad to
         # the same width and share the targets' mask
-        decoder_inputs, _ = _pad_and_mask(input_ids, self.output_vocabulary.pad_id)
+        decoder_inputs, _ = _pad_and_mask(input_ids, self.output_vocabulary.pad_id, dtype=self.dtype)
         return Batch(encoder_matrix, encoder_mask, decoder_inputs, decoder_targets, decoder_mask)
 
     # ------------------------------------------------------------------
     # forward / backward
     # ------------------------------------------------------------------
 
-    def _forward(self, batch: Batch) -> _ForwardCache:
+    def _forward(self, batch: Batch):
+        """Teacher-forced forward: turbo (fused) by default, else reference."""
+        if self.config.turbo:
+            return self._forward_turbo(batch)
+        return self._forward_reference(batch)
+
+    def _backward(self, batch: Batch, cache, grad_logits: np.ndarray) -> None:
+        if isinstance(cache, _TurboForwardCache):
+            self._backward_turbo(batch, cache, grad_logits)
+        else:
+            self._backward_reference(batch, cache, grad_logits)
+
+    def _forward_turbo(self, batch: Batch) -> _TurboForwardCache:
+        """The fused teacher-forced forward pass (TRAIN-TURBO).
+
+        The decoder recurrence never consumes the attention context under
+        teacher forcing, so the whole decoder LSTM runs first (with its
+        input-side gate matmul hoisted, like the encoder's), then attention
+        for *all* decoder timesteps runs as one fused call.  Produces the
+        same concatenated states and logits as :meth:`_forward_reference`
+        to allclose(rtol=1e-9).
+        """
+        encoder_embedded = self.encoder_embedding.forward(batch.encoder_ids)
+        encoder_outputs, final_h, final_c, encoder_cache = self.encoder.forward_fused(
+            encoder_embedded, mask=batch.encoder_mask
+        )
+        decoder_embedded = self.decoder_embedding.forward(batch.decoder_inputs)
+        decoder_outputs, _, _, decoder_cache = self.decoder.forward_fused(
+            decoder_embedded, h0=final_h, c0=final_c
+        )
+        contexts, _, attention_cache = self.attention.forward_fused(
+            decoder_outputs, encoder_outputs, mask=batch.encoder_mask
+        )
+        concatenated = np.concatenate([decoder_outputs, contexts], axis=2)
+        return _TurboForwardCache(
+            encoder_cache=encoder_cache,
+            decoder_cache=decoder_cache,
+            attention_cache=attention_cache,
+            concatenated=concatenated,
+            logits=self.output_layer.forward(concatenated),
+        )
+
+    def _backward_turbo(
+        self, batch: Batch, cache: _TurboForwardCache, grad_logits: np.ndarray
+    ) -> None:
+        """Backward for the fused path: three sequence-level backward calls
+        (output layer → fused attention → fused decoder → fused encoder)
+        instead of two per-timestep loops."""
+        hidden = self.config.hidden_dim
+        grad_concat = self.output_layer.backward(cache.concatenated, grad_logits)
+        grad_contexts = grad_concat[:, :, hidden:]
+        grad_h_attention, grad_encoder_outputs = self.attention.backward_fused(
+            cache.attention_cache, grad_contexts
+        )
+        grad_decoder_inputs, grad_h0, grad_c0 = self.decoder.backward_fused(
+            cache.decoder_cache, grad_concat[:, :, :hidden] + grad_h_attention
+        )
+        self.decoder_embedding.backward(batch.decoder_inputs, grad_decoder_inputs)
+        grad_encoder_inputs, _, _ = self.encoder.backward_fused(
+            cache.encoder_cache,
+            grad_encoder_outputs,
+            grad_h_final=grad_h0,
+            grad_c_final=grad_c0,
+        )
+        self.encoder_embedding.backward(batch.encoder_ids, grad_encoder_inputs)
+
+    def _forward_reference(self, batch: Batch) -> _ForwardCache:
+        """The kept step-wise forward pass (one decoder step + one attention
+        call per timestep) — the parity ground truth for the turbo path."""
         cache = _ForwardCache(
             encoder_embedded=self.encoder_embedding.forward(batch.encoder_ids),
             encoder_outputs=np.empty(0),
@@ -190,7 +332,7 @@ class QEP2Seq:
 
         batch_size, target_length = batch.decoder_inputs.shape
         hidden = self.config.hidden_dim
-        concatenated = np.zeros((batch_size, target_length, 2 * hidden))
+        concatenated = np.zeros((batch_size, target_length, 2 * hidden), dtype=self.dtype)
         h, c = final_h, final_c
         decoder_embedded = self.decoder_embedding.forward(batch.decoder_inputs)
         for t in range(target_length):
@@ -225,15 +367,17 @@ class QEP2Seq:
         self.optimizer.step()
         return loss, accuracy
 
-    def _backward(self, batch: Batch, cache: _ForwardCache, grad_logits: np.ndarray) -> None:
+    def _backward_reference(
+        self, batch: Batch, cache: _ForwardCache, grad_logits: np.ndarray
+    ) -> None:
         hidden = self.config.hidden_dim
         batch_size, target_length = batch.decoder_inputs.shape
         grad_concat = self.output_layer.backward(cache.concatenated, grad_logits)
         grad_encoder_outputs = np.zeros_like(cache.encoder_outputs)
-        grad_h_carry = np.zeros((batch_size, hidden))
-        grad_c_carry = np.zeros((batch_size, hidden))
+        grad_h_carry = np.zeros((batch_size, hidden), dtype=self.dtype)
+        grad_c_carry = np.zeros((batch_size, hidden), dtype=self.dtype)
         decoder_input_grads = np.zeros(
-            (batch_size, target_length, self.decoder_embedding.dimension)
+            (batch_size, target_length, self.decoder_embedding.dimension), dtype=self.dtype
         )
         for t in reversed(range(target_length)):
             grad_h_step = grad_concat[:, t, :hidden]
@@ -262,7 +406,7 @@ class QEP2Seq:
 
     def _encode_single(self, source_tokens: list[str]):
         ids = np.array([self.input_vocabulary.encode(source_tokens)], dtype=np.int64)
-        mask = np.ones((1, ids.shape[1]))
+        mask = np.ones((1, ids.shape[1]), dtype=self.dtype)
         embedded = self.encoder_embedding.forward(ids)
         outputs, final_h, final_c, _ = self.encoder.forward(embedded, mask=mask)
         return outputs, mask, final_h, final_c
@@ -276,7 +420,7 @@ class QEP2Seq:
         of each act encoded alone.
         """
         ids_list = [self.input_vocabulary.encode(tokens) for tokens in sources]
-        ids, mask = _pad_and_mask(ids_list, self.input_vocabulary.pad_id)
+        ids, mask = _pad_and_mask(ids_list, self.input_vocabulary.pad_id, dtype=self.dtype)
         embedded = self.encoder_embedding.forward(ids)
         outputs, final_h, final_c, _ = self.encoder.forward(embedded, mask=mask)
         return outputs, self.attention.project_encoder(outputs), mask, final_h, final_c
@@ -438,16 +582,20 @@ class QEP2Seq:
         return [tokens for tokens in decoded if tokens] or [decoded[0] if decoded else []]
 
 
-def _pad_and_mask(rows: list[list[int]], pad_id: int) -> tuple[np.ndarray, np.ndarray]:
+def _pad_and_mask(
+    rows: list[list[int]], pad_id: int, dtype: np.dtype | type = np.float64
+) -> tuple[np.ndarray, np.ndarray]:
     """Pad id rows to the longest row; returns (ids (B, T), mask (B, T)).
 
     The single padding/mask implementation shared by training batches
     (:meth:`QEP2Seq.make_batch`) and batched inference encoding
     (:meth:`QEP2Seq._encode_batch`), so the two can never drift apart.
+    The mask is created in the model's dtype so float32 models never
+    upcast through mask arithmetic.
     """
     length = max(len(row) for row in rows)
     ids = np.full((len(rows), length), pad_id, dtype=np.int64)
-    mask = np.zeros((len(rows), length))
+    mask = np.zeros((len(rows), length), dtype=dtype)
     for index, row in enumerate(rows):
         ids[index, : len(row)] = row
         mask[index, : len(row)] = 1.0

@@ -85,6 +85,9 @@ def train_workload_lantern(
     validation_cap: int = 40,
     paraphrase: bool = True,
     early_stop_threshold: float | None = None,
+    bucket_by_length: bool = False,
+    dtype: str = "float64",
+    turbo: bool = True,
     verbose: bool = False,
 ):
     """The one canonical "train a servable narrator" recipe.
@@ -116,11 +119,17 @@ def train_workload_lantern(
         learning_rate=learning_rate,
         batch_size=batch_size,
         seed=seed,
+        dtype=dtype,
+        turbo=turbo,
     )
     model = QEP2Seq(dataset.input_vocabulary, dataset.output_vocabulary, config)
-    history = Trainer(model, train_samples, validation_samples, seed=seed).train(
-        epochs=epochs, early_stopping_threshold=early_stop_threshold
-    )
+    history = Trainer(
+        model,
+        train_samples,
+        validation_samples,
+        seed=seed,
+        bucket_by_length=bucket_by_length,
+    ).train(epochs=epochs, early_stopping_threshold=early_stop_threshold)
     neural = NeuralLantern(model, dataset=dataset, beam_size=beam_size)
     lantern = Lantern(neural=neural, config=LanternConfig(seed=None))
     return lantern, database, query_texts, engine, history
@@ -158,6 +167,23 @@ def _parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="train-loss fluctuation below which training stops (default: run all epochs)",
+    )
+    parser.add_argument(
+        "--bucket",
+        action="store_true",
+        help="length-bucketed batching: group similar-length samples per batch "
+        "(less padding waste; deterministic given --seed)",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="model dtype: float64 (exact reference parity) or float32 (~2x memory/bandwidth)",
+    )
+    parser.add_argument(
+        "--reference-path",
+        action="store_true",
+        help="train with the step-wise reference forward/backward instead of the fused turbo path",
     )
     parser.add_argument(
         "--kind",
@@ -210,6 +236,9 @@ def main(argv: list[str] | None = None) -> Path:
         validation_cap=args.validation_cap,
         paraphrase=not args.no_paraphrase,
         early_stop_threshold=args.early_stop_threshold,
+        bucket_by_length=args.bucket,
+        dtype=args.dtype,
+        turbo=not args.reference_path,
         verbose=True,
     )
     train_seconds = time.perf_counter() - started

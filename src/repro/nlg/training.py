@@ -1,4 +1,15 @@
-"""Training loops for QEP2Seq: teacher forcing, minibatches of 4, early stopping."""
+"""Training loops for QEP2Seq: teacher forcing, minibatches of 4, early stopping.
+
+The per-batch forward/backward runs the model's fused TRAIN-TURBO path by
+default (``Seq2SeqConfig(turbo=False)`` selects the kept step-wise reference
+path; the two are parity-tested to allclose(rtol=1e-9) per batch and
+token-identical narration after identical-seed runs).  On top of that the
+Trainer offers **length-bucketed batching** (``bucket_by_length=True``):
+each epoch's seeded shuffle is stable-sorted by source+target length before
+chunking, so batches stop paying padded-width matmul cost for their longest
+member.  The schedule stays deterministic given the Trainer seed, and epoch
+metrics remain chunk-size-weighted (the PR 3 fix) under uneven buckets.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.nlg.dataset import TrainingSample
+from repro.nlg.dataset import TrainingSample, length_bucketed_chunks
 from repro.nlg.seq2seq import QEP2Seq
 
 
@@ -64,6 +75,12 @@ class Trainer:
     Early stopping follows the paper's description: training terminates when
     the training-loss fluctuation over a window drops below a threshold
     (default 0.001).
+
+    ``bucket_by_length=True`` enables the length-bucketed batch scheduler
+    (see :func:`repro.nlg.dataset.length_bucketed_chunks`): each epoch's
+    seeded shuffle is preserved as the tie-break of a stable length sort, so
+    the schedule is deterministic given the Trainer seed and identical to
+    the unbucketed one whenever all samples have the same length.
     """
 
     def __init__(
@@ -72,33 +89,82 @@ class Trainer:
         train_samples: Sequence[TrainingSample],
         validation_samples: Sequence[TrainingSample],
         seed: int = 11,
+        bucket_by_length: bool = False,
     ) -> None:
         self.model = model
         self.train_samples = list(train_samples)
         self.validation_samples = list(validation_samples)
+        self.bucket_by_length = bucket_by_length
         self._rng = random.Random(seed)
+        # vocabulary-encode every sample once: the id rows never change, so
+        # re-encoding them for every chunk of every epoch is pure overhead
+        self._encoded = {
+            id(sample): model.encode_pair(sample.source_tokens, sample.target_tokens)
+            for sample in self.train_samples + self.validation_samples
+        }
+        # validation chunks are identical every epoch (no shuffle), so their
+        # padded batches are built once per batch size and reused
+        self._validation_batches: dict[int, list[tuple[object, int]]] = {}
+
+    def _chunks(self, samples: Sequence[TrainingSample], batch_size: int):
+        """The epoch's batch schedule: sequential chunks, or length buckets.
+
+        Bucketing stable-sorts by source+target length, so it is
+        deterministic given the (already seed-shuffled) sample order and
+        degenerates to the sequential schedule on uniform-length data.
+        """
+        if self.bucket_by_length:
+            return length_bucketed_chunks(samples, batch_size)
+        return [samples[start : start + batch_size] for start in range(0, len(samples), batch_size)]
+
+    def _batches(self, samples: Sequence[TrainingSample], batch_size: int, train: bool):
+        """(padded batch, chunk size) pairs for one epoch pass.
+
+        Training chunks change with every epoch's shuffle, so their batches
+        are rebuilt from the pre-encoded id rows; validation chunks are
+        deterministic and their padded batches are cached across epochs.
+        """
+        if not train and samples is self.validation_samples:
+            if batch_size not in self._validation_batches:
+                self._validation_batches[batch_size] = [
+                    (self.model.make_batch_encoded([self._encoded[id(s)] for s in chunk]), len(chunk))
+                    for chunk in self._chunks(samples, batch_size)
+                ]
+            return self._validation_batches[batch_size]
+        encoded = self._encoded
+        return (
+            (
+                self.model.make_batch_encoded(
+                    [
+                        encoded.get(id(sample))
+                        or self.model.encode_pair(sample.source_tokens, sample.target_tokens)
+                        for sample in chunk
+                    ]
+                ),
+                len(chunk),
+            )
+            # a generator: padded batches are built one at a time as the
+            # epoch consumes them, never all resident at once
+            for chunk in self._chunks(samples, batch_size)
+        )
 
     def _run_batches(self, samples: Sequence[TrainingSample], batch_size: int, train: bool):
         # per-batch means are combined weighted by chunk size: an unweighted
         # average would overweight a partial final batch (e.g. 1 sample out
         # of 33 contributing 1/9th of the epoch metric instead of 1/33rd),
-        # skewing the reported curves and the early-stopping window
+        # skewing the reported curves and the early-stopping window — this
+        # weighting is what keeps the metric correct under uneven buckets too
         loss_sum = 0.0
         accuracy_sum = 0.0
         sample_count = 0
-        for start in range(0, len(samples), batch_size):
-            chunk = samples[start : start + batch_size]
-            batch = self.model.make_batch(
-                [sample.source_tokens for sample in chunk],
-                [sample.target_tokens for sample in chunk],
-            )
+        for batch, chunk_size in self._batches(samples, batch_size, train):
             if train:
                 loss, accuracy = self.model.train_batch(batch)
             else:
                 loss, accuracy = self.model.evaluate_batch(batch)
-            loss_sum += loss * len(chunk)
-            accuracy_sum += accuracy * len(chunk)
-            sample_count += len(chunk)
+            loss_sum += loss * chunk_size
+            accuracy_sum += accuracy * chunk_size
+            sample_count += chunk_size
         if not sample_count:
             return 0.0, 0.0
         return loss_sum / sample_count, accuracy_sum / sample_count

@@ -162,8 +162,11 @@ class TestDatasetAndTraining:
         """
 
         class _StubModel:
-            def make_batch(self, sources, targets):
-                return len(sources)
+            def encode_pair(self, source_tokens, target_tokens):
+                return (source_tokens, target_tokens)
+
+            def make_batch_encoded(self, pairs):
+                return len(pairs)
 
             def train_batch(self, chunk_size):
                 return (0.0, 1.0) if chunk_size == 4 else (10.0, 0.0)

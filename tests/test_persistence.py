@@ -11,6 +11,10 @@ silently wrong narrations.
 
 import hashlib
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -276,6 +280,100 @@ class TestCheckpointValidation:
         lantern = Lantern(neural=_NotANeuralLantern(), config=LanternConfig(seed=None))
         with pytest.raises(CheckpointError, match="only NeuralLantern"):
             lantern.save(tmp_path / "foreign")
+
+
+class TestFloat32Checkpoints:
+    """``Seq2SeqConfig.dtype`` must survive the manifest round trip: a
+    float32 model saves float32 arrays, loads back as float32, and narrates
+    identically — including from a completely fresh process, the way the
+    service boots with ``--checkpoint``."""
+
+    @staticmethod
+    def _float32_model(trained_neural):
+        from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
+        from repro.nlg.training import Trainer
+
+        dataset = trained_neural.dataset
+        model = QEP2Seq(
+            dataset.input_vocabulary,
+            dataset.output_vocabulary,
+            Seq2SeqConfig(
+                hidden_dim=16, attention_dim=8, batch_size=8, seed=21, dtype="float32"
+            ),
+        )
+        Trainer(
+            model, dataset.train_samples[:48], dataset.validation_samples[:8], seed=21
+        ).train(epochs=1, early_stopping_threshold=None)
+        return model
+
+    def test_round_trip_preserves_dtype_and_decodes(self, trained_neural, tmp_path):
+        model = self._float32_model(trained_neural)
+        target = save_qep2seq(model, tmp_path / "f32")
+
+        manifest = json.loads((target / MANIFEST_FILE).read_text())
+        assert manifest["model"]["config"]["dtype"] == "float32"
+        with np.load(target / WEIGHTS_FILE, allow_pickle=False) as archive:
+            assert all(archive[name].dtype == np.float32 for name in archive.files)
+
+        loaded = load_qep2seq(target)
+        assert loaded.config.dtype == "float32"
+        assert all(p.value.dtype == np.float32 for p in loaded.parameters())
+        originals = {p.name: p.value for p in model.parameters()}
+        for parameter in loaded.parameters():
+            np.testing.assert_array_equal(parameter.value, originals[parameter.name])
+
+        sources = [s.source_tokens for s in trained_neural.dataset.samples[:5]]
+        assert loaded.beam_decode_batch(sources, beam_size=2) == model.beam_decode_batch(
+            sources, beam_size=2
+        )
+
+    def test_service_checkpoint_narrates_identically_across_processes(
+        self, dblp_db, trained_neural, tmp_path
+    ):
+        """The --checkpoint boot contract for float32: a fresh process loads
+        the facade and reproduces the saved state's next narrations token
+        for token."""
+        from repro.nlg.neural_lantern import NeuralLantern
+
+        lantern = Lantern(
+            neural=NeuralLantern(self._float32_model(trained_neural), beam_size=2),
+            config=LanternConfig(seed=None),
+        )
+        payloads = [dblp_db.explain(sql, output_format="json") for sql in SQLS]
+        target = tmp_path / "svc-f32"
+        lantern.save(target)
+        # narrated AFTER the save: the checkpoint is the starting point for
+        # exactly these narrations (the --parity-sample convention)
+        expected = [
+            lantern.describe_plan(lantern.parse_plan(payload), mode="neural").text
+            for payload in payloads
+        ]
+        payload_file = tmp_path / "payloads.json"
+        payload_file.write_text(json.dumps(payloads))
+
+        script = (
+            "import json, sys\n"
+            "import numpy as np\n"
+            "from repro.core import Lantern\n"
+            "lantern = Lantern.load(sys.argv[1])\n"
+            "assert all(p.value.dtype == np.float32 for p in lantern.neural.model.parameters())\n"
+            "payloads = json.loads(open(sys.argv[2]).read())\n"
+            "texts = [lantern.describe_plan(lantern.parse_plan(p), mode='neural').text"
+            " for p in payloads]\n"
+            "print(json.dumps(texts))\n"
+        )
+        source_root = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(source_root) + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-c", script, str(target), str(payload_file)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert json.loads(completed.stdout.strip().splitlines()[-1]) == expected
 
 
 class TestTrainCLI:
