@@ -15,22 +15,43 @@ The warm boot must be at least 10× faster than the training path (in
 practice it is thousands of times faster), and the loaded facade must
 narrate the measurement plan sequence **token-identically** to the facade
 that was saved.  Results land in ``BENCH_checkpoint.json`` at the repo root.
+
+A second rung (LANTERN-ZERO) compares the two weight layouts at the
+paper's model scale (256 hidden units): ``weights_layout="mmap"`` maps the
+raw aligned byte file straight into read-only parameter views, skipping
+the npz decompression and per-array copies entirely, and must boot at
+least 5× faster than the npz load while both layouts keep passing the
+full digest verification.
 """
 
 import json
 import time
 from pathlib import Path
 
+import numpy as np
 from conftest import print_table
 
 from repro.core import Lantern
+from repro.nlg.persistence import (
+    load_qep2seq,
+    save_qep2seq,
+    verify_checkpoint,
+)
+from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
 from repro.nlg.train import train_workload_lantern
+from repro.nlg.vocab import Vocabulary
 
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_checkpoint.json"
 
 QUERY_COUNT = 12
 EPOCHS = 3
 MIN_SPEEDUP = 10.0
+
+#: paper-scale geometry for the layout comparison (Seq2SeqConfig defaults
+#: are the reduced bench scale; Table 6 trains 256 hidden units)
+PAPER_HIDDEN = 256
+PAPER_ATTENTION = 128
+MIN_MMAP_SPEEDUP = 5.0
 
 
 def _cold_start(seed: int = 9):
@@ -104,3 +125,69 @@ def test_checkpoint_warm_boot_vs_train_from_scratch(tmp_path):
         ],
     )
     print(f"checkpoint: {checkpoint_bytes / 1024:.0f} KiB, save {save_seconds * 1000:.1f} ms")
+
+
+def _best_load_seconds(checkpoint: Path, repetitions: int = 5) -> float:
+    """Best-of-N load time (damping filesystem-cache and scheduler noise;
+    the serve bench uses the same best-of-N convention)."""
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        load_qep2seq(checkpoint)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_mmap_boot_vs_npz_load(tmp_path):
+    """LANTERN-ZERO layout rung: at paper scale, mapping the raw byte file
+    must beat decompress-and-copy npz loading by at least 5×, without
+    weakening integrity (both layouts digest-verify)."""
+    rng = np.random.default_rng(0)
+    operator_tokens = [f"op{i}" for i in range(40)]
+    input_vocabulary = Vocabulary.from_sequences([operator_tokens])
+    output_vocabulary = Vocabulary.from_sequences([[f"w{i}" for i in range(300)]])
+    config = Seq2SeqConfig(hidden_dim=PAPER_HIDDEN, attention_dim=PAPER_ATTENTION, seed=3)
+    model = QEP2Seq(input_vocabulary, output_vocabulary, config)
+
+    npz_checkpoint = save_qep2seq(model, tmp_path / "npz", weights_layout="npz")
+    mmap_checkpoint = save_qep2seq(model, tmp_path / "mmap", weights_layout="mmap")
+    assert verify_checkpoint(npz_checkpoint) is True
+    assert verify_checkpoint(mmap_checkpoint) is True
+
+    npz_seconds = _best_load_seconds(npz_checkpoint)
+    mmap_seconds = _best_load_seconds(mmap_checkpoint)
+    speedup = npz_seconds / mmap_seconds
+    assert speedup >= MIN_MMAP_SPEEDUP
+
+    # the mapped boot really adopts shared read-only views — and decodes
+    # exactly what the npz twin decodes
+    mapped = load_qep2seq(mmap_checkpoint)
+    assert mapped.weights_memory_info()["mmap_backed"] is True
+    sources = [
+        [operator_tokens[int(rng.integers(0, 40))] for _ in range(6)] for _ in range(4)
+    ]
+    assert mapped.beam_decode_batch(sources, beam_size=3) == load_qep2seq(
+        npz_checkpoint
+    ).beam_decode_batch(sources, beam_size=3)
+
+    try:
+        document = json.loads(BENCH_JSON.read_text())
+    except FileNotFoundError:
+        document = {}
+    document["mmap_boot"] = {
+        "hidden_dim": PAPER_HIDDEN,
+        "npz_load_s": round(npz_seconds, 4),
+        "mmap_load_s": round(mmap_seconds, 4),
+        "mmap_boot_speedup": round(speedup, 1),
+        "integrity_verified_both_layouts": True,
+    }
+    BENCH_JSON.write_text(json.dumps(document, indent=2) + "\n")
+
+    print_table(
+        f"Checkpoint boot by weights layout (hidden={PAPER_HIDDEN})",
+        ["layout", "load (ms)", "speedup"],
+        [
+            ["npz (decompress + copy)", f"{npz_seconds * 1000:.2f}", "1.0x"],
+            ["mmap (zero-copy views)", f"{mmap_seconds * 1000:.2f}", f"{speedup:.1f}x"],
+        ],
+    )

@@ -19,7 +19,14 @@ measurements, both through the real serving components:
 
 Both passes run with the act-signature decode cache disabled (the fusion win
 is what is being measured, not cache hits) and the rule-phase memo warm (so
-neither pass pays one-time rule narration).  Results land in
+neither pass pays one-time rule narration).
+
+A third rung isolates the :class:`~repro.service.client.LanternClient`
+keep-alive win (LANTERN-ZERO): request-level round trips against the live
+server with the persistent connection reused versus torn down per request.
+``/healthz`` is the probe — it carries no decode work, so the measured gap
+is purely connection setup (TCP handshake plus the per-connection handler
+thread ``ThreadingHTTPServer`` spawns).  Results land in
 ``BENCH_serve.json`` at the repo root.
 """
 
@@ -150,6 +157,17 @@ def _serve_over_http(lantern: Lantern, payloads, concurrency: int) -> float:
     return len(payloads) / elapsed
 
 
+def _healthz_round_trips(url: str, keep_alive: bool, requests: int = 200) -> float:
+    """Closed-loop ``/healthz`` round trips per second through one client."""
+    with LanternClient(url, keep_alive=keep_alive) as client:
+        client.healthz()  # warm-up (kept alive, this is the only connect)
+        started = time.perf_counter()
+        for _ in range(requests):
+            client.healthz()
+        elapsed = time.perf_counter() - started
+    return requests / elapsed
+
+
 def test_serve_throughput(benchmark, serving_setup):
     lantern, trees, payloads = serving_setup
 
@@ -186,6 +204,26 @@ def test_serve_throughput(benchmark, serving_setup):
         results["http_plans_per_s_concurrency8"] = _serve_over_http(
             lantern, payloads, concurrency=HTTP_CONCURRENCY
         )
+        # keep-alive rung: same server, same client, only connection reuse
+        # differs (best of two runs each, as above)
+        service = build_service(
+            lantern=lantern, port=0, max_batch_size=64, batch_window_s=0.002
+        )
+        host, port = service.start()
+        url = f"http://{host}:{port}"
+        try:
+            results["http_keepalive_healthz_per_s"] = max(
+                _healthz_round_trips(url, keep_alive=True) for _ in range(2)
+            )
+            results["http_close_per_request_healthz_per_s"] = max(
+                _healthz_round_trips(url, keep_alive=False) for _ in range(2)
+            )
+        finally:
+            service.stop()
+        results["keepalive_speedup"] = (
+            results["http_keepalive_healthz_per_s"]
+            / results["http_close_per_request_healthz_per_s"]
+        )
         return results
 
     results = benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -220,3 +258,5 @@ def test_serve_throughput(benchmark, serving_setup):
         results["http_plans_per_s_concurrency8"]
         > results["http_one_at_a_time_plans_per_s"]
     )
+    # reusing the persistent connection must beat reconnecting per request
+    assert results["keepalive_speedup"] > 1.0

@@ -33,14 +33,35 @@ import json
 import time
 from pathlib import Path
 
+import numpy as np
 from conftest import print_table
 
 from repro.core.acts import align_acts_with_narration, decompose_lot_into_acts
+from repro.nlg.cache import CompiledCache
+from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
 from repro.nlg.tokenizer import detokenize
+from repro.nlg.vocab import Vocabulary
 from repro.workloads.generator import RandomQueryGenerator
 from repro.workloads.imdb import IMDB_JOIN_GRAPH
 
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_table6.json"
+
+#: LANTERN-ZERO int8 rung: the quantized-vs-float64 ratio is measured at the
+#: paper's decoder scale (256 hidden units), where decoding is matmul-bound;
+#: at the reduced bench scale fixed per-step overhead hides the BLAS win
+PAPER_HIDDEN = 256
+PAPER_ATTENTION = 128
+MIN_INT8_COLD_SPEEDUP = 1.5
+
+
+def _timed_pass(neural, plans) -> float:
+    """One full serving pass over the plan set; per-plan average seconds."""
+    times = []
+    for acts, steps in plans:
+        started = time.perf_counter()
+        neural.translate_steps(acts, steps)
+        times.append(time.perf_counter() - started)
+    return sum(times) / len(times)
 
 
 def _sequential_translate(neural, act, step) -> str:
@@ -114,14 +135,40 @@ def test_table6_efficiency(benchmark, suite):
             for acts, steps in plans:
                 neural.translate_steps(acts, steps)
             neural.decode_cache.reset_counters()  # keep entries, measure warm lookups only
-            warm_times = []
-            for acts, steps in plans:
-                started = time.perf_counter()
-                neural.translate_steps(acts, steps)
-                warm_times.append(time.perf_counter() - started)
-            timings["neural_lantern_avg_response_s"] = sum(warm_times) / len(warm_times)
+            # best of three passes for the cache-bound rungs (both of them,
+            # identically): lookup costs are sub-microsecond, so a single
+            # pass mostly measures scheduler noise
+            timings["neural_lantern_avg_response_s"] = min(
+                _timed_pass(neural, plans) for _ in range(3)
+            )
             timings["decode_cache_hit_rate"] = neural.decode_cache.hit_rate
+
+            # LANTERN-ZERO rung: the same signatures served from an
+            # immutable compiled tier (sorted keys + bisect, zero matmuls)
+            # after the LRU entries are dropped — pre-decoding a workload
+            # offline must not cost steady-state latency versus the warm
+            # LRU it stands in for
+            exported = neural.decode_cache.export_entries()
+            groups = {}
+            for (tokens, beam_size, precision), candidates in exported:
+                groups.setdefault((beam_size, precision), []).append(
+                    (list(tokens), candidates)
+                )
+            (beam_size, precision), entries = max(
+                groups.items(), key=lambda group: len(group[1])
+            )
+            neural.decode_cache.clear()
+            neural.decode_cache.mount_compiled(
+                CompiledCache(entries, beam_size=beam_size, precision=precision)
+            )
+            timings["neural_lantern_compiled_avg_response_s"] = min(
+                _timed_pass(neural, plans) for _ in range(3)
+            )
+            timings["compiled_cache_hits"] = neural.decode_cache.stats()[
+                "compiled_hits"
+            ]
         finally:
+            neural.decode_cache.unmount_compiled()
             neural.configure_cache(enabled=previously_enabled)
             neural.decode_cache.clear()
             neural._act_exposure.clear()
@@ -132,22 +179,29 @@ def test_table6_efficiency(benchmark, suite):
     print_table(
         "Table 6 — efficiency (seconds)",
         ["step", "time (s)"],
-        [[key, f"{value:.4f}"] for key, value in timings.items() if key != "decode_cache_hit_rate"],
+        [
+            [key, f"{value:.4f}"]
+            for key, value in timings.items()
+            if key not in ("decode_cache_hit_rate", "compiled_cache_hits")
+        ],
     )
     print(f"decode cache hit rate (warm pass): {timings['decode_cache_hit_rate']:.3f}")
 
     sequential = timings["neural_lantern_sequential_avg_response_s"]
     cold = timings["neural_lantern_cold_avg_response_s"]
     warm = timings["neural_lantern_avg_response_s"]
+    compiled = timings["neural_lantern_compiled_avg_response_s"]
     BENCH_JSON.write_text(
         json.dumps(
             {
                 "table": "table6_efficiency",
                 "rule_lantern_avg_response_s": timings["rule_lantern_avg_response_s"],
                 "neural_lantern_avg_response_s": warm,
+                "neural_lantern_compiled_avg_response_s": compiled,
                 "neural_lantern_cold_avg_response_s": cold,
                 "neural_lantern_sequential_avg_response_s": sequential,
                 "decode_cache_hit_rate": timings["decode_cache_hit_rate"],
+                "compiled_cache_hits": timings["compiled_cache_hits"],
                 "batched_speedup_cold": sequential / cold if cold else None,
                 "batched_cached_speedup_warm": sequential / warm if warm else None,
                 "sql_generation_200_queries_s": timings["sql_generation_200_queries_s"],
@@ -169,3 +223,70 @@ def test_table6_efficiency(benchmark, suite):
     assert cold < sequential
     assert warm < sequential
     assert timings["decode_cache_hit_rate"] > 0.5
+    # the compiled tier serves the whole pass without decoding, no slower
+    # than the warm LRU it replaces
+    assert timings["compiled_cache_hits"] > 0
+    assert compiled <= warm
+
+
+def test_int8_cold_decode_paper_scale():
+    """LANTERN-ZERO quantization rung: int8 replicas (per-row absmax,
+    float32 accumulation) must make a *cold* decode at the paper's decoder
+    scale at least 1.5× faster than the float64 path, on identical
+    sources.  Results merge into ``BENCH_table6.json``."""
+    rng = np.random.default_rng(0)
+    operator_tokens = [f"op{i}" for i in range(40)]
+    model = QEP2Seq(
+        Vocabulary.from_sequences([operator_tokens]),
+        Vocabulary.from_sequences([[f"w{i}" for i in range(300)]]),
+        Seq2SeqConfig(
+            hidden_dim=PAPER_HIDDEN,
+            attention_dim=PAPER_ATTENTION,
+            seed=3,
+            max_decode_length=30,
+        ),
+    )
+    sources = [
+        [operator_tokens[int(rng.integers(0, 40))] for _ in range(int(rng.integers(4, 12)))]
+        for _ in range(32)
+    ]
+
+    def best_decode_seconds() -> float:
+        best = float("inf")
+        for _ in range(4):
+            started = time.perf_counter()
+            model.beam_decode_batch(sources, beam_size=4)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    float64_seconds = best_decode_seconds()
+    model.quantize("int8")
+    try:
+        int8_seconds = best_decode_seconds()
+    finally:
+        model.dequantize()
+    speedup = float64_seconds / int8_seconds
+    assert speedup >= MIN_INT8_COLD_SPEEDUP
+
+    try:
+        document = json.loads(BENCH_JSON.read_text())
+    except FileNotFoundError:
+        document = {}
+    document["int8_cold"] = {
+        "hidden_dim": PAPER_HIDDEN,
+        "sources": len(sources),
+        "beam_size": 4,
+        "float64_cold_decode_s": round(float64_seconds, 4),
+        "int8_cold_decode_s": round(int8_seconds, 4),
+        "int8_cold_speedup": round(speedup, 2),
+    }
+    BENCH_JSON.write_text(json.dumps(document, indent=2) + "\n")
+
+    print_table(
+        f"Cold batched decode by precision (hidden={PAPER_HIDDEN}, 32 sources)",
+        ["precision", "decode (ms)", "speedup"],
+        [
+            ["float64", f"{float64_seconds * 1000:.1f}", "1.0x"],
+            ["int8 (absmax rows)", f"{int8_seconds * 1000:.1f}", f"{speedup:.2f}x"],
+        ],
+    )

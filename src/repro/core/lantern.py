@@ -443,32 +443,39 @@ class Lantern:
     # persistence (LANTERN-PERSIST)
     # ------------------------------------------------------------------
 
-    def save(self, path, include_cache: bool = True):
+    def save(self, path, include_cache: bool = True, weights_layout: str = "npz"):
         """Checkpoint this facade (config, habituation counters, and — when a
         :class:`~repro.nlg.neural_lantern.NeuralLantern` is attached — model
         weights, vocabularies, wording-cycle exposures, and optionally the
         warm decode cache) to a LANTERN-PERSIST directory.
 
-        Returns the checkpoint directory path.  See
-        :mod:`repro.nlg.persistence` for the format.
+        ``weights_layout="mmap"`` writes the zero-copy layout that boots by
+        memory-mapping the weight file (microsecond warm boot, pages shared
+        across forked workers); the default ``"npz"`` archive is fully
+        digest-verified on every load.  Returns the checkpoint directory
+        path.  See :mod:`repro.nlg.persistence` for the format.
         """
         # imported lazily: repro.core must stay importable without repro.nlg
         from repro.nlg.persistence import save_lantern
 
-        return save_lantern(self, path, include_cache=include_cache)
+        return save_lantern(
+            self, path, include_cache=include_cache, weights_layout=weights_layout
+        )
 
     @classmethod
-    def load(cls, path) -> "Lantern":
+    def load(cls, path, verify: bool = False) -> "Lantern":
         """Rebuild a facade from a checkpoint written by :meth:`save`.
 
         The loaded facade produces token-identical narrations to the one
-        that was saved, for the same plan sequence.  Raises a structured
-        :class:`~repro.errors.CheckpointError` subclass for missing,
-        corrupt, or incompatible checkpoints.
+        that was saved, for the same plan sequence.  ``verify=True`` forces
+        the full weight digest check even for mmap-layout checkpoints
+        (whose default fast boot validates structure only).  Raises a
+        structured :class:`~repro.errors.CheckpointError` subclass for
+        missing, corrupt, or incompatible checkpoints.
         """
         from repro.nlg.persistence import load_lantern
 
-        return load_lantern(path)
+        return load_lantern(path, verify=verify)
 
     # ------------------------------------------------------------------
     # habituation bookkeeping (the auto-switch policy)

@@ -50,10 +50,12 @@ class NeuralLanternResult:
 class NeuralLantern:
     """The trained neural generator.
 
-    The decode cache is keyed on (act signature, beam size) only — it does
-    not observe the model's weights.  If you continue training the wrapped
-    model after generating narrations, call ``self.decode_cache.clear()`` so
-    stale pre-training candidates are not served.
+    The decode cache is keyed on (act signature, beam size, model
+    precision) only — it does not observe the model's weights.  If you
+    continue training the wrapped model after generating narrations, call
+    ``self.decode_cache.clear()`` so stale pre-training candidates are not
+    served.  (The precision component means toggling quantization never
+    serves candidates decoded under a different numeric grid.)
     """
 
     def __init__(
@@ -135,7 +137,7 @@ class NeuralLantern:
 
     def _ranked_candidates(self, source_tokens: list[str], beam_size: int) -> list[list[str]]:
         """Cached ranked beam candidates for one act signature."""
-        key = make_key(source_tokens, beam_size)
+        key = make_key(source_tokens, beam_size, self.model.precision)
         cached = self.decode_cache.get(key)
         if cached is not None:
             return cached
@@ -188,8 +190,9 @@ class NeuralLantern:
         if len(acts) != len(rule_steps):
             raise NLGError("translate_steps needs one rule step per act")
         beam_size = self._effective_beam_size()
+        precision = self.model.precision
         sources = [act.input_tokens() for act in acts]
-        keys = [make_key(source, beam_size) for source in sources]
+        keys = [make_key(source, beam_size, precision) for source in sources]
         resolved: dict = {}
         pending_keys: list = []
         pending_sources: list[list[str]] = []
@@ -250,24 +253,29 @@ class NeuralLantern:
     # persistence (LANTERN-PERSIST)
     # ------------------------------------------------------------------
 
-    def save(self, path, include_cache: bool = True):
+    def save(self, path, include_cache: bool = True, weights_layout: str = "npz"):
         """Checkpoint this generator (weights, vocabularies, beam size,
         wording-cycle exposures, optionally the warm decode cache).
 
-        The training ``dataset`` is provenance, not serving state, and is
-        not persisted; a loaded generator has ``dataset=None``.
+        ``weights_layout="mmap"`` writes the raw zero-copy layout that
+        loads by memory-mapping (LANTERN-ZERO warm boot); ``"npz"`` is the
+        classic fully-verified archive.  The training ``dataset`` is
+        provenance, not serving state, and is not persisted; a loaded
+        generator has ``dataset=None``.
         """
         # imported lazily: persistence imports this module at load time
         from repro.nlg.persistence import save_neural_lantern
 
-        return save_neural_lantern(self, path, include_cache=include_cache)
+        return save_neural_lantern(
+            self, path, include_cache=include_cache, weights_layout=weights_layout
+        )
 
     @classmethod
-    def load(cls, path) -> "NeuralLantern":
+    def load(cls, path, verify: bool = False) -> "NeuralLantern":
         """Rebuild a generator from a checkpoint written by :meth:`save`."""
         from repro.nlg.persistence import load_neural_lantern
 
-        return load_neural_lantern(path)
+        return load_neural_lantern(path, verify=verify)
 
     # ------------------------------------------------------------------
     # evaluation helpers

@@ -16,14 +16,31 @@ class Parameter:
     ``dtype`` defaults to float64 (exact parity with the original paper
     math); float32 halves memory/bandwidth and is threaded down from
     ``Seq2SeqConfig.dtype``.  The gradient always shares the value's dtype.
+
+    Two LANTERN-ZERO extensions live here:
+
+    * **mmap adoption** — :meth:`adopt` swaps the value for a read-only
+      array mapped straight out of a checkpoint file, so N forked serving
+      workers share one physical copy of the weight pages.  The gradient
+      buffer is allocated *lazily* (first access), which keeps a pure
+      inference process from ever materializing a private grad copy;
+      :meth:`materialize` copies the value back into private writable
+      memory the moment training needs it (copy-on-train).
+    * **inference replicas** — :meth:`set_infer` attaches a quantized (or
+      otherwise reduced-precision) compute replica that :attr:`infer_value`
+      serves to the inference-only code paths.  With no replica attached,
+      ``infer_value`` *is* ``value`` (the same object), so the default
+      decode path stays bit-identical to training weights.
     """
 
     def __init__(
         self, value: np.ndarray, name: str = "", dtype: np.dtype | type = np.float64
     ) -> None:
         self.value = np.asarray(value, dtype=dtype)
-        self.grad = np.zeros_like(self.value)
+        self._grad: np.ndarray | None = None
         self.name = name
+        self.mmap_backed = False
+        self._infer_value: np.ndarray | None = None
 
     @classmethod
     def uniform(
@@ -38,8 +55,59 @@ class Parameter:
         # stream position is dtype-independent
         return cls(rng.uniform(-INIT_RANGE, INIT_RANGE, size=shape), name=name, dtype=dtype)
 
+    # -- gradient (lazy) ---------------------------------------------------
+
+    @property
+    def grad(self) -> np.ndarray:
+        if self._grad is None:
+            self._grad = np.zeros(self.value.shape, dtype=self.value.dtype)
+        return self._grad
+
+    @grad.setter
+    def grad(self, array: np.ndarray) -> None:
+        self._grad = array
+
     def zero_grad(self) -> None:
-        self.grad.fill(0.0)
+        if self._grad is not None:
+            self._grad.fill(0.0)
+
+    # -- mmap adoption / copy-on-train ------------------------------------
+
+    def adopt(self, array: np.ndarray, mmap_backed: bool = True) -> None:
+        """Adopt ``array`` (typically a read-only mmap view) as the value.
+
+        No copy is made; the (possibly unallocated) gradient is dropped so
+        an inference-only process never touches private weight memory.
+        """
+        if array.shape != self.value.shape:
+            raise ModelConfigError(
+                f"cannot adopt array of shape {array.shape} into parameter "
+                f"{self.name!r} of shape {self.value.shape}"
+            )
+        self.value = array
+        self._grad = None
+        self.mmap_backed = mmap_backed
+
+    def materialize(self) -> None:
+        """Ensure the value lives in private writable memory (copy-on-train)."""
+        if self.mmap_backed or not self.value.flags.writeable:
+            self.value = np.array(self.value)
+            self.mmap_backed = False
+
+    # -- inference replicas (quantized decode) ----------------------------
+
+    @property
+    def infer_value(self) -> np.ndarray:
+        """The array inference paths compute with: the attached reduced-
+        precision replica if one exists, else ``value`` itself (same object,
+        so the unquantized decode path is bit-identical to training)."""
+        return self._infer_value if self._infer_value is not None else self.value
+
+    def set_infer(self, array: np.ndarray) -> None:
+        self._infer_value = array
+
+    def clear_infer(self) -> None:
+        self._infer_value = None
 
     @property
     def size(self) -> int:
@@ -65,6 +133,11 @@ class Dense:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return x @ self.weight.value + self.bias.value
+
+    def forward_infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only projection through the (possibly quantized)
+        inference replicas; identical to :meth:`forward` when none are set."""
+        return x @ self.weight.infer_value + self.bias.infer_value
 
     def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
         """Accumulate parameter gradients and return the gradient w.r.t. ``x``."""
@@ -113,10 +186,12 @@ class Embedding:
 
         Beam search feeds the last emitted token of every live beam through
         this in one call per timestep (the fused (M, D) decoder input) rather
-        than one batch-1 ``forward`` per beam.  Delegates to :meth:`forward`
-        so the training and inference gathers can never diverge.
+        than one batch-1 ``forward`` per beam.  Gathers from the table's
+        ``infer_value`` — the same array as :meth:`forward` uses unless a
+        quantized inference replica is attached, so the training and
+        inference gathers can never diverge on the default path.
         """
-        return self.forward(np.asarray(token_ids, dtype=np.int64))
+        return self.table.infer_value[np.asarray(token_ids, dtype=np.int64)]
 
     def backward(self, token_ids: np.ndarray, grad_output: np.ndarray) -> None:
         if not self.trainable:

@@ -1,0 +1,76 @@
+"""Reduced-precision inference replicas (LANTERN-ZERO quantized decode).
+
+NumPy has no int8 GEMM, and pure float16 matmuls fall back to a slow
+software path — so both quantization modes build a *float32 compute
+replica* and the speedup comes from BLAS sgemm running ~2x faster than
+the float64 dgemm the training weights would use (half the memory
+bandwidth per operand).  What distinguishes the modes is the rounding
+applied before the float32 cast:
+
+* ``int8`` — per-row absmax affine quantization for 2-D weight matrices:
+  each row is scaled into [-127, 127], rounded to int8, then dequantized
+  into float32.  The int8 grid is what bounds the error; the replica is
+  its exact float32 image.  1-D parameters (biases, score vectors) are
+  kept at float32 precision — they are O(hidden) values whose
+  quantization would cost accuracy for no measurable speed.
+* ``float16`` — weights are rounded through IEEE half precision and
+  stored as float32 for compute.
+
+The replicas attach to :class:`~repro.nlg.nn.layers.Parameter` via
+``set_infer`` and never touch ``value``; checkpoints always store the
+original full-precision weights and re-quantize deterministically on
+load (the mode travels in the manifest via ``Seq2SeqConfig.quantize``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+
+#: supported values of ``Seq2SeqConfig.quantize``
+QUANTIZE_MODES = ("none", "int8", "float16")
+
+
+def validate_quantize_mode(mode: str) -> str:
+    if mode not in QUANTIZE_MODES:
+        raise ModelConfigError(
+            f"unsupported quantize mode {mode!r}; expected one of {QUANTIZE_MODES}"
+        )
+    return mode
+
+
+def quantize_int8_rowwise(value: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize a 2-D matrix to int8 codes with per-row absmax scales.
+
+    Returns ``(codes, scales)`` where ``codes * scales`` reconstructs the
+    matrix on the int8 grid; all-zero rows get scale 1.0 so the division
+    is always well-defined.
+    """
+    if value.ndim != 2:
+        raise ModelConfigError(
+            f"int8 row-wise quantization expects a 2-D matrix, got shape {value.shape}"
+        )
+    absmax = np.max(np.abs(value), axis=1, keepdims=True)
+    scales = np.where(absmax > 0, absmax / 127.0, 1.0)
+    codes = np.clip(np.rint(value / scales), -127, 127).astype(np.int8)
+    return codes, scales
+
+
+def infer_replica(value: np.ndarray, mode: str) -> np.ndarray:
+    """Build the float32 compute replica of ``value`` for ``mode``.
+
+    Deterministic: the same weights and mode always produce the same
+    replica, which is what lets checkpoints re-quantize on load instead
+    of persisting the replica.
+    """
+    validate_quantize_mode(mode)
+    if mode == "none":
+        raise ModelConfigError("mode 'none' has no replica; clear the infer value instead")
+    if mode == "float16":
+        return value.astype(np.float16).astype(np.float32)
+    # int8: only 2-D matrices ride the int8 grid; 1-D parameters stay float32
+    if value.ndim != 2:
+        return value.astype(np.float32)
+    codes, scales = quantize_int8_rowwise(value)
+    return codes.astype(np.float32) * scales.astype(np.float32)

@@ -2,14 +2,29 @@
 
 A checkpoint is a directory holding two files:
 
-* ``weights.npz`` — every trainable :class:`~repro.nlg.nn.layers.Parameter`
+* a weight file — every trainable :class:`~repro.nlg.nn.layers.Parameter`
   of the QEP2Seq model, keyed by its unique parameter name (absent for
-  rule-only facades, which have no model);
+  rule-only facades, which have no model).  Two layouts exist, selected at
+  save time with ``weights_layout`` and recorded in the manifest:
+
+  - ``"npz"`` (default) — a ``weights.npz`` archive, fully read and
+    digest-verified on load;
+  - ``"mmap"`` (LANTERN-ZERO) — ``weights.bin``, the raw C-contiguous
+    array bytes at 64-byte-aligned offsets with an offset index in the
+    manifest.  Loading memory-maps the file read-only and the model
+    *adopts* the mapped views (no copy, no digest pass — structural
+    bounds are checked instead, and :func:`verify_checkpoint` performs
+    the full digest on demand), so warm boot costs microseconds and N
+    forked serving workers share one physical copy of the weight pages.
+    Training after an mmap load transparently copies weights into
+    private memory (copy-on-train, see ``Parameter.materialize``).
+
 * ``manifest.json`` — a schema-versioned JSON document recording what kind
   of object was saved, the model/facade configuration, both vocabularies in
   id order, the serving state that must survive a restart (wording-cycle
-  exposures, habituation counters, optionally the warm decode cache), and a
-  SHA-256 digest of ``weights.npz`` so corruption is detected at load time.
+  exposures, habituation counters, optionally the warm decode cache), the
+  weight layout, and a SHA-256 digest of the weight file so corruption is
+  detectable in either layout.
 
 Three object kinds round-trip, each strictly containing the previous:
 
@@ -42,6 +57,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap as mmap_module
 from collections import Counter
 from dataclasses import asdict
 from pathlib import Path
@@ -73,6 +89,15 @@ FORMAT_NAME = "lantern-persist"
 
 MANIFEST_FILE = "manifest.json"
 WEIGHTS_FILE = "weights.npz"
+WEIGHTS_BIN_FILE = "weights.bin"
+
+LAYOUT_NPZ = "npz"
+LAYOUT_MMAP = "mmap"
+WEIGHT_LAYOUTS = (LAYOUT_NPZ, LAYOUT_MMAP)
+
+#: mmap layout: every array starts on a 64-byte boundary (cacheline/SIMD
+#: friendly, and trivially satisfies numpy's alignment requirements)
+_MMAP_ALIGN = 64
 
 KIND_QEP2SEQ = "qep2seq"
 KIND_NEURAL = "neural-lantern"
@@ -81,21 +106,38 @@ KIND_LANTERN = "lantern"
 PathLike = Union[str, Path]
 
 
+class _FastInitGenerator:
+    """A stand-in rng for checkpoint reconstruction (see ``QEP2Seq.init_rng``).
+
+    Every parameter of the model under construction is overwritten or
+    mmap-adopted immediately afterwards, so initialization draws are pure
+    waste — this generator returns zero buffers (calloc'd, so the kernel
+    never materializes the pages) instead.
+    """
+
+    @staticmethod
+    def uniform(low, high, size=None):
+        return np.zeros(size if size is not None else ())
+
+
 # ----------------------------------------------------------------------
 # saving
 # ----------------------------------------------------------------------
 
 
-def save_qep2seq(model: QEP2Seq, path: PathLike) -> Path:
+def save_qep2seq(model: QEP2Seq, path: PathLike, weights_layout: str = LAYOUT_NPZ) -> Path:
     """Checkpoint a bare QEP2Seq model; returns the checkpoint directory."""
     section, weights = _model_section_and_weights(model)
     manifest = _base_manifest(KIND_QEP2SEQ)
     manifest["model"] = section
-    return _write_checkpoint(path, manifest, weights)
+    return _write_checkpoint(path, manifest, weights, weights_layout)
 
 
 def save_neural_lantern(
-    neural: NeuralLantern, path: PathLike, include_cache: bool = True
+    neural: NeuralLantern,
+    path: PathLike,
+    include_cache: bool = True,
+    weights_layout: str = LAYOUT_NPZ,
 ) -> Path:
     """Checkpoint a NEURAL-LANTERN facade (model + serving state).
 
@@ -106,10 +148,15 @@ def save_neural_lantern(
     manifest = _base_manifest(KIND_NEURAL)
     manifest["model"] = section
     manifest["neural"] = _neural_section(neural, include_cache)
-    return _write_checkpoint(path, manifest, weights)
+    return _write_checkpoint(path, manifest, weights, weights_layout)
 
 
-def save_lantern(lantern: Lantern, path: PathLike, include_cache: bool = True) -> Path:
+def save_lantern(
+    lantern: Lantern,
+    path: PathLike,
+    include_cache: bool = True,
+    weights_layout: str = LAYOUT_NPZ,
+) -> Path:
     """Checkpoint a full :class:`Lantern` facade.
 
     Rule-only facades (no neural generator) checkpoint too — the manifest
@@ -155,7 +202,7 @@ def save_lantern(lantern: Lantern, path: PathLike, include_cache: bool = True) -
             if narrator._rng is not None
         },
     }
-    return _write_checkpoint(path, manifest, weights)
+    return _write_checkpoint(path, manifest, weights, weights_layout)
 
 
 def _base_manifest(kind: str) -> dict[str, Any]:
@@ -190,8 +237,13 @@ def _neural_section(neural: NeuralLantern, include_cache: bool) -> dict[str, Any
             "enabled": cache.enabled,
             "entries": (
                 [
-                    [list(key_tokens), beam, [list(tokens) for tokens in candidates]]
-                    for (key_tokens, beam), candidates in cache.export_entries()
+                    [
+                        list(key_tokens),
+                        beam,
+                        precision,
+                        [list(tokens) for tokens in candidates],
+                    ]
+                    for (key_tokens, beam, precision), candidates in cache.export_entries()
                 ]
                 if include_cache
                 else None
@@ -201,24 +253,77 @@ def _neural_section(neural: NeuralLantern, include_cache: bool) -> dict[str, Any
 
 
 def _write_checkpoint(
-    path: PathLike, manifest: dict[str, Any], weights: Optional[dict[str, np.ndarray]]
+    path: PathLike,
+    manifest: dict[str, Any],
+    weights: Optional[dict[str, np.ndarray]],
+    weights_layout: str = LAYOUT_NPZ,
 ) -> Path:
+    if weights_layout not in WEIGHT_LAYOUTS:
+        raise CheckpointFormatError(
+            f"unsupported weights layout {weights_layout!r}; expected one of {WEIGHT_LAYOUTS}"
+        )
     directory = Path(path)
     directory.mkdir(parents=True, exist_ok=True)
     if weights is not None:
-        with open(directory / WEIGHTS_FILE, "wb") as handle:
-            np.savez(handle, **weights)
-        manifest["weights_sha256"] = _sha256_file(directory / WEIGHTS_FILE)
+        manifest["weights_layout"] = weights_layout
+        if weights_layout == LAYOUT_NPZ:
+            with open(directory / WEIGHTS_FILE, "wb") as handle:
+                np.savez(handle, **weights)
+            manifest["weights_sha256"] = _sha256_file(directory / WEIGHTS_FILE)
+            _unlink_if_exists(directory / WEIGHTS_BIN_FILE)
+        else:
+            manifest["weights_index"] = _write_weights_bin(
+                directory / WEIGHTS_BIN_FILE, weights
+            )
+            manifest["weights_sha256"] = _sha256_file(directory / WEIGHTS_BIN_FILE)
+            _unlink_if_exists(directory / WEIGHTS_FILE)
     else:
         # overwriting a neural checkpoint with a rule-only one must not
         # leave the previous model's weights orphaned beside the manifest
-        stale = directory / WEIGHTS_FILE
-        if stale.exists():
-            stale.unlink()
+        _unlink_if_exists(directory / WEIGHTS_FILE)
+        _unlink_if_exists(directory / WEIGHTS_BIN_FILE)
     (directory / MANIFEST_FILE).write_text(
         json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     return directory
+
+
+def _unlink_if_exists(path: Path) -> None:
+    if path.exists():
+        path.unlink()
+
+
+def _write_weights_bin(
+    path: Path, weights: dict[str, np.ndarray]
+) -> list[dict[str, Any]]:
+    """Write the raw mmap layout; returns the manifest offset index.
+
+    Arrays are laid out back to back in iteration (parameter) order, each
+    starting on a :data:`_MMAP_ALIGN`-byte boundary, as plain C-contiguous
+    little-endian bytes — exactly the representation ``np.frombuffer`` can
+    view with zero copies.
+    """
+    index: list[dict[str, Any]] = []
+    with open(path, "wb") as handle:
+        offset = 0
+        for name, value in weights.items():
+            array = np.ascontiguousarray(value)
+            padding = (-offset) % _MMAP_ALIGN
+            if padding:
+                handle.write(b"\0" * padding)
+                offset += padding
+            index.append(
+                {
+                    "name": name,
+                    "dtype": array.dtype.str,
+                    "shape": list(array.shape),
+                    "offset": offset,
+                }
+            )
+            data = array.tobytes()
+            handle.write(data)
+            offset += len(data)
+    return index
 
 
 def _sha256_file(path: Path) -> str:
@@ -239,30 +344,40 @@ def checkpoint_kind(path: PathLike) -> str:
     return _read_manifest(Path(path))["kind"]
 
 
-def load_qep2seq(path: PathLike) -> QEP2Seq:
-    """Load a bare QEP2Seq checkpoint."""
+def load_qep2seq(path: PathLike, verify: bool = False) -> QEP2Seq:
+    """Load a bare QEP2Seq checkpoint.
+
+    ``verify=True`` forces the full weight-file digest check even for the
+    mmap layout (whose default load is structural-only for speed).
+    """
     directory = Path(path)
     manifest = _read_manifest(directory)
     _expect_kind(manifest, KIND_QEP2SEQ)
-    return _restore_model(_section(manifest, "model"), _read_weights(directory, manifest))
+    return _restore_model(
+        _section(manifest, "model"), _read_weights(directory, manifest, verify=verify)
+    )
 
 
-def load_neural_lantern(path: PathLike) -> NeuralLantern:
+def load_neural_lantern(path: PathLike, verify: bool = False) -> NeuralLantern:
     """Load a NEURAL-LANTERN checkpoint (model + exposure state + cache)."""
     directory = Path(path)
     manifest = _read_manifest(directory)
     _expect_kind(manifest, KIND_NEURAL)
-    return _restore_neural(manifest, directory)
+    return _restore_neural(manifest, directory, verify=verify)
 
 
-def load_lantern(path: PathLike) -> Lantern:
+def load_lantern(path: PathLike, verify: bool = False) -> Lantern:
     """Load a full :class:`Lantern` checkpoint."""
     directory = Path(path)
     manifest = _read_manifest(directory)
     _expect_kind(manifest, KIND_LANTERN)
     section = _section(manifest, "lantern")
     config = _build_config(LanternConfig, section.get("config"), "lantern config")
-    neural = _restore_neural(manifest, directory) if "neural" in manifest else None
+    neural = (
+        _restore_neural(manifest, directory, verify=verify)
+        if "neural" in manifest
+        else None
+    )
     lantern = Lantern(
         store=_restore_store(section.get("store")), neural=neural, config=config
     )
@@ -326,24 +441,120 @@ def _section(manifest: dict[str, Any], name: str) -> dict[str, Any]:
     return section
 
 
-def _read_weights(directory: Path, manifest: dict[str, Any]) -> dict[str, np.ndarray]:
-    weights_path = directory / WEIGHTS_FILE
+def _weights_layout(manifest: dict[str, Any]) -> str:
+    layout = manifest.get("weights_layout", LAYOUT_NPZ)
+    if layout not in WEIGHT_LAYOUTS:
+        raise CheckpointFormatError(
+            f"unsupported weights layout {layout!r}; this build reads {WEIGHT_LAYOUTS}"
+        )
+    return layout
+
+
+def _verify_digest(weights_path: Path, manifest: dict[str, Any]) -> None:
     recorded = manifest.get("weights_sha256")
     if not isinstance(recorded, str):
         raise CheckpointFormatError("the manifest records no weights digest")
-    if not weights_path.is_file():
-        raise CheckpointFormatError(f"checkpoint is missing {WEIGHTS_FILE}")
     actual = _sha256_file(weights_path)
     if actual != recorded:
         raise CheckpointIntegrityError(
             f"weights digest mismatch: manifest records sha256 {recorded[:12]}… but "
-            f"{WEIGHTS_FILE} hashes to {actual[:12]}… — the checkpoint is corrupt"
+            f"{weights_path.name} hashes to {actual[:12]}… — the checkpoint is corrupt"
         )
+
+
+def verify_checkpoint(path: PathLike) -> bool:
+    """Full integrity check of a checkpoint's weight file, any layout.
+
+    Recomputes the SHA-256 digest over the entire weight file and compares
+    it with the manifest — the check the fast mmap load path deliberately
+    skips.  Returns ``True`` for weight-less (rule-only) checkpoints.
+    Raises :class:`~repro.errors.CheckpointIntegrityError` on mismatch.
+    """
+    directory = Path(path)
+    manifest = _read_manifest(directory)
+    if "weights_sha256" not in manifest:
+        return True  # rule-only facade: nothing to verify
+    layout = _weights_layout(manifest)
+    file_name = WEIGHTS_FILE if layout == LAYOUT_NPZ else WEIGHTS_BIN_FILE
+    weights_path = directory / file_name
+    if not weights_path.is_file():
+        raise CheckpointFormatError(f"checkpoint is missing {file_name}")
+    _verify_digest(weights_path, manifest)
+    return True
+
+
+def _read_weights(
+    directory: Path, manifest: dict[str, Any], verify: bool = False
+) -> dict[str, np.ndarray]:
+    if _weights_layout(manifest) == LAYOUT_MMAP:
+        return _read_weights_mmap(directory, manifest, verify=verify)
+    weights_path = directory / WEIGHTS_FILE
+    if not weights_path.is_file():
+        raise CheckpointFormatError(f"checkpoint is missing {WEIGHTS_FILE}")
+    # the npz path always digests: it reads every byte anyway
+    _verify_digest(weights_path, manifest)
     try:
         with np.load(weights_path, allow_pickle=False) as archive:
             return {name: np.asarray(archive[name]) for name in archive.files}
     except (OSError, ValueError) as error:
         raise CheckpointIntegrityError(f"unreadable weight archive: {error}") from error
+
+
+def _read_weights_mmap(
+    directory: Path, manifest: dict[str, Any], verify: bool = False
+) -> dict[str, np.ndarray]:
+    """Map ``weights.bin`` read-only and return zero-copy array views.
+
+    The default check is *structural* — every index entry must fit inside
+    the file — because digesting the whole file would fault in every page
+    and erase the point of mapping (``verify=True`` restores the digest
+    pass; :func:`verify_checkpoint` does it standalone).  The views keep
+    the mapping alive through their ``base`` reference and are read-only:
+    training triggers copy-on-train in ``Parameter.materialize``.
+    """
+    weights_path = directory / WEIGHTS_BIN_FILE
+    if not weights_path.is_file():
+        raise CheckpointFormatError(f"checkpoint is missing {WEIGHTS_BIN_FILE}")
+    if verify:
+        _verify_digest(weights_path, manifest)
+    index = manifest.get("weights_index")
+    if not isinstance(index, list):
+        raise CheckpointFormatError("the manifest records no weights_index for the mmap layout")
+    with open(weights_path, "rb") as handle:
+        try:
+            mapped = mmap_module.mmap(handle.fileno(), 0, access=mmap_module.ACCESS_READ)
+        except (OSError, ValueError) as error:
+            raise CheckpointIntegrityError(
+                f"cannot map {WEIGHTS_BIN_FILE}: {error}"
+            ) from error
+    file_size = len(mapped)
+    weights: dict[str, np.ndarray] = {}
+    for entry in index:
+        if not isinstance(entry, dict):
+            raise CheckpointFormatError(f"malformed weights_index entry: {entry!r}")
+        try:
+            name = str(entry["name"])
+            dtype = np.dtype(str(entry["dtype"]))
+            shape = tuple(_coerce_int(n, "weights_index shape") for n in entry["shape"])
+            offset = _coerce_int(entry["offset"], "weights_index offset")
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointFormatError(
+                f"malformed weights_index entry: {entry!r}"
+            ) from error
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * dtype.itemsize
+        if offset < 0 or offset + nbytes > file_size:
+            raise CheckpointIntegrityError(
+                f"weight {name!r} spans [{offset}, {offset + nbytes}) but "
+                f"{WEIGHTS_BIN_FILE} holds only {file_size} bytes — the checkpoint "
+                "is truncated or the index is corrupt"
+            )
+        if name in weights:
+            raise CheckpointFormatError(f"duplicate weight {name!r} in weights_index")
+        weights[name] = np.frombuffer(
+            mapped, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+    return weights
 
 
 def _restore_model(section: dict[str, Any], weights: dict[str, np.ndarray]) -> QEP2Seq:
@@ -376,15 +587,22 @@ def _restore_model(section: dict[str, Any], weights: dict[str, np.ndarray]) -> Q
         raise CheckpointIntegrityError(
             "the weight archive has no decoder embedding table"
         )
-    # passing the saved table as "pretrained" makes the constructor adopt its
-    # width, so models trained with pre-trained embeddings (whose dimension
-    # differs from config.decoder_embedding_dim) rebuild with correct shapes;
-    # every parameter, the table included, is then overwritten below
+    # passing a (dummy) table of the saved width as "pretrained" makes the
+    # constructor adopt it, so models trained with pre-trained embeddings
+    # (whose dimension differs from config.decoder_embedding_dim) rebuild
+    # with correct shapes; every parameter, the table included, is then
+    # overwritten (or mmap-adopted) below — which is also why construction
+    # can skip real rng draws entirely (_FastInitGenerator)
+    # quantization is deferred until the real weights are in place (the
+    # constructor would otherwise quantize the throwaway init values)
+    saved_quantize = getattr(config, "quantize", "none")
+    config.quantize = "none"
     model = QEP2Seq(
         input_vocabulary,
         output_vocabulary,
         config=config,
-        decoder_pretrained=np.asarray(decoder_table, dtype=dtype),
+        decoder_pretrained=np.empty(decoder_table.shape, dtype=dtype),
+        init_rng=_FastInitGenerator(),
     )
     expected = {parameter.name: parameter for parameter in model.parameters()}
     if set(expected) != set(weights):
@@ -395,18 +613,31 @@ def _restore_model(section: dict[str, Any], weights: dict[str, np.ndarray]) -> Q
             f"(missing: {missing or 'none'}, unexpected: {unexpected or 'none'})"
         )
     for name, parameter in expected.items():
-        saved = np.asarray(weights[name], dtype=dtype)
+        saved = weights[name]
         if saved.shape != parameter.value.shape:
             raise CheckpointIntegrityError(
                 f"weight {name!r} has shape {saved.shape}, the model expects "
                 f"{parameter.value.shape}"
             )
-        parameter.value[...] = saved
+        if not saved.flags.writeable and saved.dtype == dtype:
+            # read-only view straight out of the mapped checkpoint file:
+            # adopt it without copying so the weight pages stay shared
+            parameter.adopt(saved)
+        else:
+            parameter.value[...] = np.asarray(saved, dtype=dtype)
+    if saved_quantize != "none":
+        # re-quantizing the restored master weights is deterministic, so a
+        # quantized model's decodes survive the round trip exactly
+        model.quantize(saved_quantize)
     return model
 
 
-def _restore_neural(manifest: dict[str, Any], directory: Path) -> NeuralLantern:
-    model = _restore_model(_section(manifest, "model"), _read_weights(directory, manifest))
+def _restore_neural(
+    manifest: dict[str, Any], directory: Path, verify: bool = False
+) -> NeuralLantern:
+    model = _restore_model(
+        _section(manifest, "model"), _read_weights(directory, manifest, verify=verify)
+    )
     section = _section(manifest, "neural")
     cache_spec = section.get("cache") or {}
     neural = NeuralLantern(
@@ -426,8 +657,18 @@ def _restore_neural(manifest: dict[str, Any], directory: Path) -> NeuralLantern:
     # re-inserting the snapshot oldest-first reproduces the LRU order exactly
     for entry in cache_spec.get("entries") or []:
         try:
-            key_tokens, beam, candidates = entry
-            key = make_key([str(token) for token in key_tokens], _coerce_int(beam, "beam size"))
+            if len(entry) == 3:
+                # legacy (pre-precision) entry: decoded by the saved model
+                # itself, so its precision is the loaded model's
+                key_tokens, beam, candidates = entry
+                precision = model.precision
+            else:
+                key_tokens, beam, precision, candidates = entry
+            key = make_key(
+                [str(token) for token in key_tokens],
+                _coerce_int(beam, "beam size"),
+                str(precision),
+            )
             value = [[str(token) for token in tokens] for tokens in candidates]
         except (TypeError, ValueError) as error:
             raise CheckpointFormatError(f"malformed cache entry: {entry!r}") from error

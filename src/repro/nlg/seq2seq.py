@@ -42,6 +42,7 @@ narrate token-identically.  ``Seq2SeqConfig.dtype`` selects ``float64``
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Optional
 
 import numpy as np
@@ -52,6 +53,7 @@ from repro.nlg.nn.layers import Dense, Embedding, Parameter
 from repro.nlg.nn.losses import cross_entropy_from_logits
 from repro.nlg.nn.lstm import LSTM
 from repro.nlg.nn.optimizers import SGD, Adam
+from repro.nlg.nn.quant import infer_replica, validate_quantize_mode
 from repro.nlg.vocab import Vocabulary
 
 
@@ -86,6 +88,12 @@ class Seq2SeqConfig:
     #: parameter/activation memory and bandwidth.  Recorded in checkpoint
     #: manifests so a saved float32 model round-trips as float32.
     dtype: str = "float64"
+    #: "none" (default), "int8" (per-row absmax weight quantization) or
+    #: "float16" — the LANTERN-ZERO reduced-precision *inference* mode.
+    #: Training weights keep ``dtype``; decode computes through float32
+    #: replicas rounded on the selected grid.  Recorded in checkpoint
+    #: manifests so a quantized model round-trips quantized.
+    quantize: str = "none"
 
 
 @dataclass
@@ -131,6 +139,8 @@ class QEP2Seq:
         output_vocabulary: Vocabulary,
         config: Optional[Seq2SeqConfig] = None,
         decoder_pretrained: Optional[np.ndarray] = None,
+        *,
+        init_rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.config = config if config is not None else Seq2SeqConfig()
         self.input_vocabulary = input_vocabulary
@@ -139,8 +149,13 @@ class QEP2Seq:
             raise ModelConfigError(
                 f"unsupported dtype {self.config.dtype!r}; expected 'float64' or 'float32'"
             )
+        validate_quantize_mode(self.config.quantize)
         self.dtype = np.dtype(self.config.dtype)
-        rng = np.random.default_rng(self.config.seed)
+        # init_rng is the checkpoint loader's fast-boot hook: every parameter
+        # is overwritten (or mmap-adopted) right after construction, so the
+        # loader substitutes a generator whose draws are uninitialized
+        # np.empty buffers instead of paying for real random numbers
+        rng = init_rng if init_rng is not None else np.random.default_rng(self.config.seed)
 
         decoder_dim = self.config.decoder_embedding_dim
         if decoder_pretrained is not None:
@@ -177,10 +192,74 @@ class QEP2Seq:
         self.output_layer = Dense(
             2 * self.config.hidden_dim, len(output_vocabulary), rng, name="output", dtype=self.dtype
         )
+        # the optimizer is built lazily on first access (see the property
+        # below): pure inference processes — the mmap warm-boot path in
+        # particular — never pay for Adam's moment buffers (3x the weight
+        # bytes) or the flat-space parameter copy
+        self._optimizer: SGD | Adam | None = None
+        if self.config.quantize != "none":
+            self.quantize(self.config.quantize)
+
+    @property
+    def optimizer(self) -> SGD | Adam:
+        if self._optimizer is None:
+            self._optimizer = self._build_optimizer()
+        return self._optimizer
+
+    @optimizer.setter
+    def optimizer(self, value: SGD | Adam) -> None:
+        self._optimizer = value
+
+    def _build_optimizer(self) -> SGD | Adam:
+        # copy-on-train: mmap-adopted (read-only) weights become private
+        # writable arrays the moment training state is requested
+        for parameter in self.parameters():
+            parameter.materialize()
         if self.config.optimizer == "adam":
-            self.optimizer = Adam(self.parameters(), learning_rate=max(self.config.learning_rate, 0.002))
-        else:
-            self.optimizer = SGD(self.parameters(), learning_rate=self.config.learning_rate)
+            return Adam(self.parameters(), learning_rate=max(self.config.learning_rate, 0.002))
+        return SGD(self.parameters(), learning_rate=self.config.learning_rate)
+
+    # ------------------------------------------------------------------
+    # quantized inference (LANTERN-ZERO)
+    # ------------------------------------------------------------------
+
+    def quantize(self, mode: str) -> None:
+        """Attach reduced-precision inference replicas for ``mode``.
+
+        Idempotent and reversible (:meth:`dequantize`); training weights are
+        untouched, so de/re-quantization is lossless.  Replicas are built
+        deterministically from the current weights, which is also how a
+        checkpoint whose manifest records a quantize mode restores them.
+        """
+        validate_quantize_mode(mode)
+        if mode == "none":
+            self.dequantize()
+            return
+        for parameter in self.parameters():
+            parameter.set_infer(infer_replica(parameter.value, mode))
+        self.config.quantize = mode
+
+    def dequantize(self) -> None:
+        """Drop inference replicas; decode returns to full-precision weights."""
+        for parameter in self.parameters():
+            parameter.clear_infer()
+        self.config.quantize = "none"
+
+    @property
+    def precision(self) -> str:
+        """``"<dtype>:<quantize>"`` — the decode-cache key component that
+        keeps entries from crossing precision boundaries."""
+        return f"{self.config.dtype}:{self.config.quantize}"
+
+    def weights_memory_info(self) -> dict:
+        """Parameter count, resident weight bytes, and whether every
+        parameter is an mmap-shared view (the /metrics payload)."""
+        parameters = self.parameters()
+        return {
+            "parameter_count": int(sum(p.size for p in parameters)),
+            "bytes": int(sum(p.value.nbytes for p in parameters)),
+            "mmap_backed": bool(parameters) and all(p.mmap_backed for p in parameters),
+        }
 
     # ------------------------------------------------------------------
     # parameters and statistics
@@ -357,6 +436,11 @@ class QEP2Seq:
 
     def train_batch(self, batch: Batch) -> tuple[float, float]:
         """One teacher-forced SGD update; returns (loss, accuracy)."""
+        if self.config.quantize != "none":
+            raise ModelConfigError(
+                "cannot train while quantized inference replicas are attached; "
+                "call dequantize() first"
+            )
         cache = self._forward(batch)
         loss, grad_logits = cross_entropy_from_logits(
             cache.logits, batch.decoder_targets, batch.decoder_mask
@@ -404,11 +488,28 @@ class QEP2Seq:
     # inference
     # ------------------------------------------------------------------
 
+    @property
+    def _infer_dtype(self) -> np.dtype:
+        """The dtype inference activations compute in — the model dtype
+        normally, float32 when quantized replicas are attached."""
+        return self.encoder.weight_x.infer_value.dtype
+
+    def _encode_ids(self, source_tokens: list[str]) -> list[int]:
+        """Vocabulary-encode one act signature for inference.
+
+        An empty act (which degenerate plan steps can legitimately yield)
+        encodes to a single ``<UNK>`` so the encoder always sees at least
+        one timestep instead of a zero-width sequence; whitespace-only
+        tokens already fall back to ``<UNK>`` inside the vocabulary.
+        """
+        ids = self.input_vocabulary.encode(source_tokens)
+        return ids or [self.input_vocabulary.unk_id]
+
     def _encode_single(self, source_tokens: list[str]):
-        ids = np.array([self.input_vocabulary.encode(source_tokens)], dtype=np.int64)
-        mask = np.ones((1, ids.shape[1]), dtype=self.dtype)
-        embedded = self.encoder_embedding.forward(ids)
-        outputs, final_h, final_c, _ = self.encoder.forward(embedded, mask=mask)
+        ids = np.array([self._encode_ids(source_tokens)], dtype=np.int64)
+        mask = np.ones((1, ids.shape[1]), dtype=self._infer_dtype)
+        embedded = self.encoder_embedding.lookup(ids)
+        outputs, final_h, final_c = self.encoder.forward_infer(embedded, mask=mask)
         return outputs, mask, final_h, final_c
 
     def _encode_batch(self, sources: list[list[str]]):
@@ -419,11 +520,11 @@ class QEP2Seq:
         plus the LSTM step mask means the final states are identical to those
         of each act encoded alone.
         """
-        ids_list = [self.input_vocabulary.encode(tokens) for tokens in sources]
-        ids, mask = _pad_and_mask(ids_list, self.input_vocabulary.pad_id, dtype=self.dtype)
-        embedded = self.encoder_embedding.forward(ids)
-        outputs, final_h, final_c, _ = self.encoder.forward(embedded, mask=mask)
-        return outputs, self.attention.project_encoder(outputs), mask, final_h, final_c
+        ids_list = [self._encode_ids(tokens) for tokens in sources]
+        ids, mask = _pad_and_mask(ids_list, self.input_vocabulary.pad_id, dtype=self._infer_dtype)
+        embedded = self.encoder_embedding.lookup(ids)
+        outputs, final_h, final_c = self.encoder.forward_infer(embedded, mask=mask)
+        return outputs, self.attention.project_encoder_infer(outputs), mask, final_h, final_c
 
     def greedy_decode(self, source_tokens: list[str]) -> list[str]:
         """Greedy (beam size 1) decoding, mostly used in tests."""
@@ -463,11 +564,17 @@ class QEP2Seq:
         end_id = self.output_vocabulary.end_id
         bos_id = self.output_vocabulary.bos_id
         count = len(sources)
-        # per act: (score, token ids, h row, c row, finished) — same beam
-        # tuple layout as the sequential reference decoder
-        beams_per_act: list[list[tuple[float, list[int], np.ndarray, np.ndarray, bool]]] = [
-            [(0.0, [bos_id], h0[n], c0[n], False)] for n in range(count)
+        # per act: (normalized score, score, token ids, h row, c row,
+        # finished).  The leading element carries score / max(len - 1, 1)
+        # precomputed, so beam ranking sorts on a C-level itemgetter rather
+        # than re-deriving the key through a Python lambda for every
+        # candidate on every timestep; the value is the exact float the
+        # sequential reference decoder's sort key computes, so ordering
+        # (ties included — both sorts are stable) is unchanged
+        beams_per_act: list[list[tuple[float, float, list[int], np.ndarray, np.ndarray, bool]]] = [
+            [(0.0, 0.0, [bos_id], h0[n], c0[n], False)] for n in range(count)
         ]
+        by_normalized_score = itemgetter(0)
         # encoder-side gathers are reused while the set of live rows is
         # stable (it only changes when beams fork or finish), so the fancy
         # indexing below is not repeated on every timestep
@@ -478,15 +585,15 @@ class QEP2Seq:
                 (n, b)
                 for n in range(count)
                 for b, beam in enumerate(beams_per_act[n])
-                if not beam[4]
+                if not beam[5]
             ]
             if not rows:
                 break
             last_ids = np.array(
-                [beams_per_act[n][b][1][-1] for n, b in rows], dtype=np.int64
+                [beams_per_act[n][b][2][-1] for n, b in rows], dtype=np.int64
             )
-            h_prev = np.stack([beams_per_act[n][b][2] for n, b in rows])
-            c_prev = np.stack([beams_per_act[n][b][3] for n, b in rows])
+            h_prev = np.stack([beams_per_act[n][b][3] for n, b in rows])
+            c_prev = np.stack([beams_per_act[n][b][4] for n, b in rows])
             act_ids = tuple(n for n, _ in rows)
             if act_ids != gathered_key:
                 indices = np.array(act_ids)
@@ -502,37 +609,46 @@ class QEP2Seq:
                 gathered_projected,
                 mask=gathered_mask,
             )
-            logits = self.output_layer.forward(np.concatenate([new_h, context], axis=1))
+            logits = self.output_layer.forward_infer(np.concatenate([new_h, context], axis=1))
             maxima = logits.max(axis=1, keepdims=True)
             log_probabilities = logits - (
                 maxima + np.log(np.exp(logits - maxima).sum(axis=1, keepdims=True))
             )
+            # top-k for ALL live rows in one vectorized call (row-for-row the
+            # same argpartition/argsort selection as _top_k_ascending), then
+            # one bulk tolist() — the per-row numpy calls and scalar float()
+            # extractions this replaces dominated decode time for small models
+            top_ids, top_scores = _top_k_ascending_rows(log_probabilities, beam_size)
             row_index = {pair: m for m, pair in enumerate(rows)}
             for n in sorted({n for n, _ in rows}):
-                candidates: list[tuple[float, list[int], np.ndarray, np.ndarray, bool]] = []
+                candidates: list[
+                    tuple[float, float, list[int], np.ndarray, np.ndarray, bool]
+                ] = []
                 for b, beam in enumerate(beams_per_act[n]):
-                    score, tokens, beam_h, beam_c, finished = beam
+                    _, score, tokens, beam_h, beam_c, finished = beam
                     if finished:
                         candidates.append(beam)
                         continue
                     m = row_index[(n, b)]
-                    row_log_probabilities = log_probabilities[m]
-                    for token_id in _top_k_ascending(row_log_probabilities, beam_size):
+                    for token_id, token_score in zip(top_ids[m], top_scores[m]):
+                        new_score = score + token_score
+                        new_tokens = tokens + [token_id]
                         candidates.append(
                             (
-                                score + float(row_log_probabilities[token_id]),
-                                tokens + [int(token_id)],
+                                new_score / max(len(new_tokens) - 1, 1),
+                                new_score,
+                                new_tokens,
                                 new_h[m],
                                 new_c[m],
-                                int(token_id) == end_id,
+                                token_id == end_id,
                             )
                         )
-                candidates.sort(key=lambda item: item[0] / max(len(item[1]) - 1, 1), reverse=True)
+                candidates.sort(key=by_normalized_score, reverse=True)
                 beams_per_act[n] = candidates[:beam_size]
         results: list[list[list[str]]] = []
         for beams in beams_per_act:
-            ranked = sorted(beams, key=lambda item: item[0] / max(len(item[1]) - 1, 1), reverse=True)
-            decoded = [self.output_vocabulary.decode(tokens) for _, tokens, _, _, _ in ranked]
+            ranked = sorted(beams, key=by_normalized_score, reverse=True)
+            decoded = [self.output_vocabulary.decode(tokens) for _, _, tokens, _, _, _ in ranked]
             results.append([tokens for tokens in decoded if tokens] or [decoded[0] if decoded else []])
         return results
 
@@ -547,6 +663,7 @@ class QEP2Seq:
         """
         beam_size = beam_size or self.config.beam_size
         encoder_outputs, mask, h, c = self._encode_single(source_tokens)
+        projected_encoder = self.attention.project_encoder_infer(encoder_outputs)
         end_id = self.output_vocabulary.end_id
         beams: list[tuple[float, list[int], np.ndarray, np.ndarray, bool]] = [
             (0.0, [self.output_vocabulary.bos_id], h, c, False)
@@ -557,10 +674,12 @@ class QEP2Seq:
                 if finished:
                     candidates.append((score, tokens, beam_h, beam_c, True))
                     continue
-                embedded = self.decoder_embedding.forward(np.array([[tokens[-1]]]))[:, 0, :]
-                new_h, new_c, _ = self.decoder.step(embedded, beam_h, beam_c)
-                context, _, _ = self.attention.forward(new_h, encoder_outputs, mask=mask)
-                logits = self.output_layer.forward(np.concatenate([new_h, context], axis=1))[0]
+                embedded = self.decoder_embedding.lookup(np.array([tokens[-1]]))
+                new_h, new_c = self.decoder.step_infer(embedded, beam_h, beam_c)
+                context = self.attention.step_context(
+                    new_h, encoder_outputs, projected_encoder, mask=mask
+                )
+                logits = self.output_layer.forward_infer(np.concatenate([new_h, context], axis=1))[0]
                 log_probabilities = logits - _log_sum_exp(logits)
                 top = np.argsort(log_probabilities)[-beam_size:]
                 for token_id in top:
@@ -626,3 +745,24 @@ def _top_k_ascending(values: np.ndarray, k: int) -> np.ndarray:
         return np.argsort(values)
     top = np.argpartition(values, -k)[-k:]
     return top[np.argsort(values[top])]
+
+
+def _top_k_ascending_rows(
+    values: np.ndarray, k: int
+) -> tuple[list[list[int]], list[list[float]]]:
+    """Per-row top-k of a (M, V) matrix, each row ascending by value.
+
+    Row for row identical to :func:`_top_k_ascending` (argpartition and
+    argsort operate on each row independently, so selection and tie
+    behaviour match the per-row calls exactly), but all M rows go through
+    one vectorized call, and indices/values come back as plain Python
+    lists in one bulk conversion — the batched beam search consumes them
+    element-wise in Python anyway.
+    """
+    if k >= values.shape[1]:
+        top = np.argsort(values, axis=1)
+    else:
+        part = np.argpartition(values, -k, axis=1)[:, -k:]
+        order = np.argsort(np.take_along_axis(values, part, axis=1), axis=1)
+        top = np.take_along_axis(part, order, axis=1)
+    return top.tolist(), np.take_along_axis(values, top, axis=1).tolist()

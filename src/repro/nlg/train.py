@@ -207,6 +207,13 @@ def _parser() -> argparse.ArgumentParser:
         help="write plans + the narrations the saved state will produce next, "
         "for cross-process warm-boot verification",
     )
+    parser.add_argument(
+        "--weights-layout",
+        choices=("npz", "mmap"),
+        default="npz",
+        help="weight storage: compressed npz archive, or raw aligned bytes the "
+        "loader maps copy-free (LANTERN-ZERO warm boot)",
+    )
     parser.add_argument("--out", required=True, help="checkpoint directory to write")
     return parser
 
@@ -257,9 +264,13 @@ def main(argv: list[str] | None = None) -> Path:
 
     out = Path(args.out)
     if args.kind == "neural":
-        save_neural_lantern(neural, out, include_cache=not args.no_cache)
+        save_neural_lantern(
+            neural, out, include_cache=not args.no_cache, weights_layout=args.weights_layout
+        )
     else:
-        save_lantern(lantern, out, include_cache=not args.no_cache)
+        save_lantern(
+            lantern, out, include_cache=not args.no_cache, weights_layout=args.weights_layout
+        )
     size = sum(f.stat().st_size for f in out.iterdir() if f.is_file())
     print(f"checkpoint written to {out} ({size / 1024:.0f} KiB, kind={args.kind})")
 

@@ -10,6 +10,11 @@ weights, vocabularies, wording-cycle exposures, habituation counters, and
 (optionally) a hot decode cache — is loaded from a LANTERN-PERSIST
 checkpoint written by ``python -m repro.nlg.train``, so a restart costs
 milliseconds rather than a retraining run (see ``BENCH_checkpoint.json``).
+
+``--compiled-cache FILE`` additionally mounts a pre-decoded narration cache
+written by ``python -m repro.nlg.compile`` under the LRU decode cache, so
+every act signature of the compiled workload is served with zero matmuls
+(the LANTERN-ZERO serving tier).
 """
 
 from __future__ import annotations
@@ -54,6 +59,12 @@ def main(argv: list[str] | None = None) -> None:
         "(written by python -m repro.nlg.train)",
     )
     parser.add_argument(
+        "--compiled-cache",
+        metavar="FILE",
+        help="mount a pre-decoded narration cache (python -m repro.nlg.compile) "
+        "under the decode cache; requires --checkpoint",
+    )
+    parser.add_argument(
         "--max-batch-size", type=int, default=32, help="requests fused per decode"
     )
     parser.add_argument(
@@ -66,6 +77,8 @@ def main(argv: list[str] | None = None) -> None:
         "--max-queue-depth", type=int, default=256, help="admission-control bound (429 beyond)"
     )
     args = parser.parse_args(argv)
+    if args.compiled_cache and not args.checkpoint:
+        parser.error("--compiled-cache requires --checkpoint")
 
     lantern = None
     if args.checkpoint:
@@ -78,6 +91,18 @@ def main(argv: list[str] | None = None) -> None:
             f"{(time.perf_counter() - started) * 1000.0:.0f} ms "
             f"(neural {'attached' if lantern.neural is not None else 'absent'})"
         )
+        if args.compiled_cache:
+            from repro.nlg.cache import CompiledCache
+
+            if lantern.neural is None:
+                parser.error("--compiled-cache needs a checkpoint with a neural generator")
+            compiled = CompiledCache.load(args.compiled_cache)
+            lantern.neural.decode_cache.mount_compiled(compiled)
+            print(
+                f"mounted compiled cache {args.compiled_cache} "
+                f"({len(compiled)} act signatures, beam={compiled.beam_size}, "
+                f"precision={compiled.precision})"
+            )
     elif args.neural:
         lantern = _train_demo_lantern()
     service = build_service(

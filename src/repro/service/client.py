@@ -1,11 +1,20 @@
 """A small stdlib client for LANTERN-SERVE.
 
-Wraps ``urllib.request`` so callers (examples, benchmarks, course tooling)
-can talk to the service without handling HTTP details::
+Wraps ``http.client`` so callers (examples, benchmarks, course tooling) can
+talk to the service without handling HTTP details::
 
     client = LanternClient("http://127.0.0.1:8517")
     result = client.narrate(explain_json)            # format auto-detected
     print(result["narration"]["text"])
+
+The client keeps its TCP connection **alive across requests** by default
+(the server speaks HTTP/1.1 with persistent connections), which removes a
+connect/teardown round-trip from every narration — the difference is
+visible in ``BENCH_serve.json``.  A connection the server closed while idle
+is detected and transparently re-established; pass ``keep_alive=False`` to
+get the classic one-connection-per-request behaviour.  The client is also a
+context manager: ``with LanternClient(...) as client: ...`` closes the
+socket on exit.
 
 Non-2xx responses raise :class:`LanternServiceError` carrying the status
 code and the decoded error body (including ``attempted_formats`` on 400s
@@ -14,10 +23,11 @@ from the plan registry).
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import threading
 from typing import Any, Optional
+from urllib.parse import urlsplit
 
 from repro.errors import ServiceError
 
@@ -34,9 +44,27 @@ class LanternServiceError(ServiceError):
 class LanternClient:
     """Blocking JSON-over-HTTP client for one LANTERN-SERVE endpoint."""
 
-    def __init__(self, base_url: str = "http://127.0.0.1:8517", timeout_s: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8517",
+        timeout_s: float = 60.0,
+        keep_alive: bool = True,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.keep_alive = keep_alive
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", ""):
+            raise ServiceError(f"unsupported URL scheme {parts.scheme!r} (http only)")
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
+        self._path_prefix = parts.path.rstrip("/")
+        # one persistent connection PER THREAD: http.client connections are
+        # not safe for interleaved use, and callers do share one client
+        # across hammering threads (the concurrency tests do, deliberately)
+        self._local = threading.local()
+        self._open_connections: list[http.client.HTTPConnection] = []
+        self._registry_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # endpoints
@@ -66,28 +94,120 @@ class LanternClient:
         return self._request("GET", "/healthz")
 
     # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def _connection(self) -> Optional[http.client.HTTPConnection]:
+        """The calling thread's persistent connection (None when closed)."""
+        return getattr(self._local, "connection", None)
+
+    def _bind_connection(self, connection: Optional[http.client.HTTPConnection]) -> None:
+        self._local.connection = connection
+        if connection is not None:
+            with self._registry_lock:
+                self._open_connections.append(connection)
+
+    def _drop_connection(self) -> None:
+        """Close and forget the calling thread's connection only."""
+        connection = self._connection
+        self._local.connection = None
+        if connection is not None:
+            with self._registry_lock:
+                if connection in self._open_connections:
+                    self._open_connections.remove(connection)
+            connection.close()
+
+    def close(self) -> None:
+        """Close every thread's persistent connection; safe to call twice.
+
+        Threads still holding a closed connection transparently reconnect
+        on their next request.
+        """
+        self._local.connection = None
+        with self._registry_lock:
+            connections, self._open_connections = self._open_connections, []
+        for connection in connections:
+            connection.close()
+
+    def __enter__(self) -> "LanternClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
 
     def _request(
         self, method: str, path: str, body: Optional[dict[str, Any]] = None
     ) -> dict[str, Any]:
-        url = self.base_url + path
         data = json.dumps(body).encode("utf-8") if body is not None else None
-        request = urllib.request.Request(
-            url,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
+        headers = {"Content-Type": "application/json"} if data else {}
+        if not self.keep_alive:
+            headers["Connection"] = "close"
+        full_path = self._path_prefix + path
+        # a kept-alive connection may have been closed by the server while
+        # idle; the failure only surfaces on the next use, so one retry on
+        # a REUSED connection is safe (the request never reached a fresh
+        # server socket) and expected
+        existing = self._connection
+        reused = existing is not None and existing.sock is not None
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
+            response, payload = self._round_trip(method, full_path, data, headers)
+        except TimeoutError as error:
+            # never replayed: a timed-out request may have reached the
+            # server, and narration requests have state side effects
+            self._drop_connection()
+            raise ServiceError(f"cannot reach {self.base_url}{path}: {error}") from error
+        except (http.client.HTTPException, OSError) as error:
+            self._drop_connection()
+            if not reused:
+                raise ServiceError(
+                    f"cannot reach {self.base_url}{path}: {error}"
+                ) from error
             try:
-                decoded = json.loads(error.read().decode("utf-8"))
-            except Exception:  # noqa: BLE001 - body may not be JSON
-                decoded = {"message": str(error)}
-            raise LanternServiceError(error.code, decoded) from error
-        except urllib.error.URLError as error:
-            raise ServiceError(f"cannot reach {url}: {error.reason}") from error
+                response, payload = self._round_trip(method, full_path, data, headers)
+            except (http.client.HTTPException, OSError) as retry_error:
+                self._drop_connection()
+                raise ServiceError(
+                    f"cannot reach {self.base_url}{path}: {retry_error}"
+                ) from retry_error
+
+        if response.will_close or not self.keep_alive:
+            self._drop_connection()
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            decoded = {"message": payload.decode("utf-8", errors="replace")}
+        if not 200 <= response.status < 300:
+            raise LanternServiceError(response.status, decoded)
+        return decoded
+
+    def _round_trip(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes],
+        headers: dict[str, str],
+    ) -> tuple[http.client.HTTPResponse, bytes]:
+        """One request/response over the (possibly fresh) connection.
+
+        The body is read fully before returning so a kept-alive stream is
+        positioned at the next response boundary.
+        """
+        connection = self._connection
+        if connection is None or connection.sock is None:
+            # nothing bound, or a remnant some other thread's close() shut
+            # down (sock=None only ever means closed here: a fresh
+            # connection is bound and used within this call)
+            self._drop_connection()
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout_s
+            )
+            self._bind_connection(connection)
+        connection.request(method, path, body=data, headers=headers)
+        response = connection.getresponse()
+        payload = response.read()
+        return response, payload

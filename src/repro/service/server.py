@@ -48,6 +48,29 @@ from repro.service.telemetry import ServiceTelemetry
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8517
 
+
+def _process_rss_bytes() -> Optional[int]:
+    """Resident set size of this process, or ``None`` when unmeasurable.
+
+    ``/proc/self/statm`` (Linux) gives current residency in pages; the
+    ``resource`` fallback reports the lifetime *peak* (``ru_maxrss``, in
+    KiB on Linux) — close enough for the dashboard on other platforms.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            resident_pages = int(handle.read().split()[1])
+        import os
+
+        return resident_pages * os.sysconf("SC_PAGESIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:  # noqa: BLE001 - no resource module on this platform
+        return None
+
 _MODES = (MODE_RULE, MODE_NEURAL, MODE_AUTO)
 
 #: request body size bound — a QEP serialization has no business being larger
@@ -197,7 +220,27 @@ class LanternService:
         memo_stats = self.lantern.rule_memo_stats()
         if memo_stats is not None:
             document["rule_memo"] = memo_stats
+        document["memory"] = self.memory_info()
         return document
+
+    def memory_info(self) -> dict[str, Any]:
+        """Process residency plus model weight footprint (LANTERN-ZERO).
+
+        ``weights_mmap_shared`` is ``True`` when every model parameter is a
+        read-only view of a memory-mapped checkpoint — those pages are
+        shared with the page cache (and any sibling process mapping the
+        same file) rather than being private copies counted once per
+        replica.
+        """
+        info: dict[str, Any] = {"rss_bytes": _process_rss_bytes()}
+        neural = self.lantern.neural
+        model = getattr(neural, "model", None)
+        if model is not None and hasattr(model, "weights_memory_info"):
+            weights = model.weights_memory_info()
+            info["weights_bytes"] = weights["bytes"]
+            info["weights_parameter_count"] = weights["parameter_count"]
+            info["weights_mmap_shared"] = weights["mmap_backed"]
+        return info
 
     def healthz(self) -> dict[str, Any]:
         worker = self.batcher._worker
@@ -277,6 +320,10 @@ def _make_handler(service: LanternService) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         server_version = "LanternServe/1.0"
         protocol_version = "HTTP/1.1"
+        # headers and body go out as separate small writes; with Nagle on,
+        # the body segment stalls behind the client's delayed ACK (~40 ms)
+        # on every kept-alive request
+        disable_nagle_algorithm = True
 
         # -- plumbing ----------------------------------------------------
 

@@ -451,6 +451,90 @@ class TestShutdown:
         batcher.stop()
 
 
+class TestMemoryMetrics:
+    def test_rss_reported_for_rule_service(self, rule_service):
+        _, client = rule_service
+        memory = client.metrics()["memory"]
+        assert memory["rss_bytes"] > 0
+        assert "weights_bytes" not in memory  # no neural generator attached
+
+    def test_weights_footprint_and_mmap_flag(self, trained_neural, tmp_path):
+        """LANTERN-ZERO observability: /metrics must say how big the model
+        is and whether its pages are mmap-shared with the checkpoint file."""
+        from repro.nlg.neural_lantern import NeuralLantern
+        from repro.nlg.persistence import load_qep2seq, save_qep2seq
+        from repro.service.server import LanternService
+
+        facade = Lantern(
+            neural=NeuralLantern(trained_neural.model, beam_size=2),
+            config=LanternConfig(seed=None),
+        )
+        private = LanternService(lantern=facade).memory_info()
+        assert private["weights_bytes"] > 0
+        assert private["weights_parameter_count"] == trained_neural.model.parameter_count()
+        assert private["weights_mmap_shared"] is False
+
+        target = save_qep2seq(trained_neural.model, tmp_path / "mapped", weights_layout="mmap")
+        mapped_facade = Lantern(
+            neural=NeuralLantern(load_qep2seq(target), beam_size=2),
+            config=LanternConfig(seed=None),
+        )
+        shared = LanternService(lantern=mapped_facade).memory_info()
+        assert shared["weights_mmap_shared"] is True
+        assert shared["weights_bytes"] == private["weights_bytes"]
+
+
+class TestKeepAliveClient:
+    def test_connection_is_reused_across_requests(self, rule_service, payloads):
+        service, _ = rule_service
+        host, port = service._httpd.server_address
+        with LanternClient(f"http://{host}:{port}") as client:
+            client.healthz()
+            first_socket = client._connection.sock
+            assert first_socket is not None
+            client.narrate(payloads[0])
+            client.metrics()
+            assert client._connection.sock is first_socket  # same TCP stream
+
+    def test_keep_alive_false_closes_per_request(self, rule_service):
+        service, _ = rule_service
+        host, port = service._httpd.server_address
+        client = LanternClient(f"http://{host}:{port}", keep_alive=False)
+        client.healthz()
+        assert client._connection is None
+
+    def test_stale_connection_is_retried_transparently(self, rule_service, payloads):
+        """A kept-alive socket the peer (or an idle timeout) tore down must
+        not surface as an error — the request is replayed on a fresh
+        connection, exactly once, and only because it never reached a live
+        server socket."""
+        service, _ = rule_service
+        host, port = service._httpd.server_address
+        with LanternClient(f"http://{host}:{port}") as client:
+            client.healthz()
+            client._connection.sock.close()  # simulate server-side teardown
+            result = client.narrate(payloads[0])
+            assert result["narration"]["text"]
+
+    def test_fresh_connection_failure_is_not_retried(self):
+        """Against a dead endpoint the first attempt is on a FRESH
+        connection, so the client fails immediately with ServiceError."""
+        from repro.errors import ServiceError
+
+        client = LanternClient("http://127.0.0.1:9")  # discard port: nothing listens
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+
+    def test_close_is_idempotent_and_reopens_lazily(self, rule_service):
+        service, _ = rule_service
+        host, port = service._httpd.server_address
+        client = LanternClient(f"http://{host}:{port}")
+        client.close()
+        client.close()
+        assert client.healthz()["status"] == "ok"  # reconnects on demand
+        client.close()
+
+
 class TestTelemetry:
     def test_percentiles(self):
         values = [float(v) for v in range(1, 101)]
