@@ -1,0 +1,131 @@
+"""Quickstart for LANTERN-SCOPE: traces, stage metrics, training telemetry.
+
+Walks the observability layer in one process:
+
+1. start a service with tracing on and a JSONL trace log, narrate a few
+   plans, and fetch the slowest trace — a span tree covering admission,
+   queue wait, batch assembly, the fused decode (with cache hit/miss and
+   precision tags), and the response write;
+2. read the same run as metrics: the JSON ``/metrics`` document's new
+   ``stages`` histograms, then the Prometheus text exposition every
+   scraper parses (``GET /metrics?format=prometheus``);
+3. attach :class:`~repro.nlg.training.TelemetryHooks` to a tiny training
+   run and replay the per-epoch throughput/gradient-norm stream it wrote.
+
+Run with:  python examples/observability_quickstart.py
+
+The command-line equivalents (what you would run operationally):
+
+    python -m repro.service --trace-log traces.jsonl
+    curl localhost:8080/trace
+    curl 'localhost:8080/metrics?format=prometheus'
+    python -m repro.nlg.train --workload dblp --telemetry run.jsonl --out ckpt
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.obs import format_span_tree, read_events, validate_exposition
+from repro.service import LanternClient, build_service
+
+PLAN = {
+    "Plan": {
+        "Node Type": "Aggregate",
+        "Strategy": "Hashed",
+        "Plans": [
+            {
+                "Node Type": "Hash Join",
+                "Hash Cond": "(a.id = w.author_key)",
+                "Plans": [
+                    {"Node Type": "Seq Scan", "Relation Name": "author"},
+                    {
+                        "Node Type": "Hash",
+                        "Plans": [{"Node Type": "Seq Scan", "Relation Name": "writes"}],
+                    },
+                ],
+            }
+        ],
+    }
+}
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="lantern-scope-"))
+    trace_log = workdir / "traces.jsonl"
+
+    print("=" * 72)
+    print("1. Trace a request end to end")
+    print("=" * 72)
+    service = build_service(port=0, trace_log=str(trace_log))
+    host, port = service.start()
+    client = LanternClient(f"http://{host}:{port}")
+    try:
+        for _ in range(5):
+            result = client.narrate(PLAN)
+        print(f"response carries its trace id: {result['trace_id']}")
+        trace = client.trace(limit=1)["slowest"][0]
+        print("slowest recent trace (GET /trace):")
+        print(format_span_tree(trace, indent=1))
+        decode = next(c for c in trace["children"] if c["name"] == "decode")
+        print(f"decode tags: {decode['tags']}")
+
+        print()
+        print("=" * 72)
+        print("2. The same run as metrics")
+        print("=" * 72)
+        metrics = client.metrics()
+        print("per-stage latency histograms (JSON /metrics -> stages):")
+        for stage, summary in metrics["stages"].items():
+            print(f"  {stage:<16} p50 {summary['p50']:>8.3f} ms   p99 {summary['p99']:>8.3f} ms")
+        exposition = client.prometheus_metrics()
+        samples = validate_exposition(exposition)
+        print(f"\nPrometheus exposition: {samples} samples, e.g.:")
+        for line in exposition.splitlines():
+            if line.startswith("lantern_stage_latency_seconds_count"):
+                print(f"  {line}")
+        print("\nscrape config:")
+        print("  scrape_configs:")
+        print("    - job_name: lantern")
+        print("      metrics_path: /metrics")
+        print("      params: {format: [prometheus]}")
+        print(f"      static_configs: [{{targets: ['{host}:{port}']}}]")
+    finally:
+        client.close()
+        service.stop()
+
+    sampled = list(read_events(trace_log))
+    print(f"\n--trace-log mirrored {len(sampled)} traces to {trace_log}")
+
+    print()
+    print("=" * 72)
+    print("3. Training telemetry")
+    print("=" * 72)
+    from repro.nlg.train import main as train_main
+
+    telemetry = workdir / "run.jsonl"
+    train_main(
+        [
+            "--workload", "dblp",
+            "--queries", "3",
+            "--epochs", "2",
+            "--hidden-dim", "24",
+            "--attention-dim", "12",
+            "--telemetry", str(telemetry),
+            "--out", str(workdir / "ckpt"),
+        ]
+    )
+    print("\nreplaying the telemetry stream:")
+    for event in read_events(telemetry):
+        if event["event"] == "epoch":
+            print(
+                f"  epoch {event['epoch']}: loss {event['train_loss']:.3f}, "
+                f"{event['tokens_per_second']:.0f} tokens/s, "
+                f"grad norm {event['grad_norm']:.4f}"
+            )
+        elif event["event"] == "train_end":
+            print(f"  done: {event['epochs']} epochs in {event['total_seconds']:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ from pathlib import Path
 
 from repro.errors import NLGError
 from repro.nlg.cache import CompiledCache
+from repro.obs.tracing import default_tracer, format_span_tree
 
 #: cache headroom while compiling — large enough that no workload signature
 #: is evicted before export (a plan rarely has more than a handful of
@@ -119,17 +120,25 @@ def main(argv: list[str] | None = None) -> Path:
     from repro.core import Lantern
 
     args = _parser().parse_args(argv)
-    started = time.perf_counter()
-    lantern = Lantern.load(args.checkpoint)
-    print(f"checkpoint loaded in {(time.perf_counter() - started) * 1000:.1f} ms")
+    root = default_tracer().trace("nlg.compile", workload=args.workload)
+    with root:
+        started = time.perf_counter()
+        with default_tracer().span("load_checkpoint"):
+            lantern = Lantern.load(args.checkpoint)
+        print(f"checkpoint loaded in {(time.perf_counter() - started) * 1000:.1f} ms")
 
-    started = time.perf_counter()
-    compiled, plan_count = compile_workload(
-        lantern, workload=args.workload, queries=args.queries, seed=args.seed
-    )
-    elapsed = time.perf_counter() - started
-    out = Path(args.out)
-    compiled.save(out)
+        started = time.perf_counter()
+        with default_tracer().span("compile", queries=args.queries):
+            compiled, plan_count = compile_workload(
+                lantern, workload=args.workload, queries=args.queries, seed=args.seed
+            )
+        elapsed = time.perf_counter() - started
+        out = Path(args.out)
+        with default_tracer().span("save"):
+            compiled.save(out)
+    if root:
+        print("phase timings:")
+        print(format_span_tree(root.to_dict(), indent=1))
     print(
         f"compiled {len(compiled)} act signatures from {plan_count} plans "
         f"in {elapsed:.1f}s (beam={compiled.beam_size}, precision={compiled.precision})"

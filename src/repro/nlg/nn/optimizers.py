@@ -119,19 +119,21 @@ class SGD:
         self.parameters = parameters
         self.learning_rate = learning_rate
         self.clip_norm = clip_norm
+        #: pre-clip global gradient L2 norm of the most recent step()
+        self.last_grad_norm: float | None = None
         self._flat = _FlatParameterSpace.try_build(parameters)
         self._scratch = np.empty_like(self._flat.values) if self._flat is not None else None
 
     def step(self) -> None:
         if self._flat is not None:
             self._flat.adopt()
-            if self.clip_norm is not None:
-                self._flat.clip_global_norm(self.clip_norm)
+            # clip_global_norm(0.0) measures without scaling (the clip guard
+            # is `total > clip_norm > 0`), so the norm is always one dot
+            self.last_grad_norm = self._flat.clip_global_norm(self.clip_norm or 0.0)
             np.multiply(self._flat.grads, self.learning_rate, out=self._scratch)
             self._flat.values -= self._scratch
             return
-        if self.clip_norm is not None:
-            clip_global_norm(self.parameters, self.clip_norm)
+        self.last_grad_norm = clip_global_norm(self.parameters, self.clip_norm or 0.0)
         for parameter in self.parameters:
             parameter.value -= self.learning_rate * parameter.grad
 
@@ -169,6 +171,8 @@ class Adam:
         self.beta2 = beta2
         self.epsilon = epsilon
         self.clip_norm = clip_norm
+        #: pre-clip global gradient L2 norm of the most recent step()
+        self.last_grad_norm: float | None = None
         self._flat = _FlatParameterSpace.try_build(parameters)
         if self._flat is not None:
             self._m = [np.zeros_like(self._flat.values)]
@@ -183,13 +187,13 @@ class Adam:
     def step(self) -> None:
         if self._flat is not None:
             self._flat.adopt()
-            if self.clip_norm is not None:
-                self._flat.clip_global_norm(self.clip_norm)
+            # measuring with clip_norm=0.0 never scales (guard is
+            # `total > clip_norm > 0`); the norm costs one dot either way
+            self.last_grad_norm = self._flat.clip_global_norm(self.clip_norm or 0.0)
             self._t += 1
             self._update(self._flat.values, self._flat.grads, 0)
             return
-        if self.clip_norm is not None:
-            clip_global_norm(self.parameters, self.clip_norm)
+        self.last_grad_norm = clip_global_norm(self.parameters, self.clip_norm or 0.0)
         self._t += 1
         for index, parameter in enumerate(self.parameters):
             self._update(parameter.value, parameter.grad, index)

@@ -77,6 +77,7 @@ from repro.errors import (
 )
 from repro.nlg.cache import DEFAULT_CACHE_SIZE, make_key
 from repro.nlg.neural_lantern import NeuralLantern
+from repro.obs.tracing import default_tracer
 from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
 from repro.nlg.vocab import Vocabulary
 from repro.pool.poem import PoemStore
@@ -262,29 +263,35 @@ def _write_checkpoint(
         raise CheckpointFormatError(
             f"unsupported weights layout {weights_layout!r}; expected one of {WEIGHT_LAYOUTS}"
         )
-    directory = Path(path)
-    directory.mkdir(parents=True, exist_ok=True)
-    if weights is not None:
-        manifest["weights_layout"] = weights_layout
-        if weights_layout == LAYOUT_NPZ:
-            with open(directory / WEIGHTS_FILE, "wb") as handle:
-                np.savez(handle, **weights)
-            manifest["weights_sha256"] = _sha256_file(directory / WEIGHTS_FILE)
-            _unlink_if_exists(directory / WEIGHTS_BIN_FILE)
+    tracer = default_tracer()
+    with tracer.span(
+        "checkpoint.save", kind=manifest.get("kind", "?"), layout=weights_layout
+    ):
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        if weights is not None:
+            manifest["weights_layout"] = weights_layout
+            with tracer.span("weights"):
+                if weights_layout == LAYOUT_NPZ:
+                    with open(directory / WEIGHTS_FILE, "wb") as handle:
+                        np.savez(handle, **weights)
+                    manifest["weights_sha256"] = _sha256_file(directory / WEIGHTS_FILE)
+                    _unlink_if_exists(directory / WEIGHTS_BIN_FILE)
+                else:
+                    manifest["weights_index"] = _write_weights_bin(
+                        directory / WEIGHTS_BIN_FILE, weights
+                    )
+                    manifest["weights_sha256"] = _sha256_file(directory / WEIGHTS_BIN_FILE)
+                    _unlink_if_exists(directory / WEIGHTS_FILE)
         else:
-            manifest["weights_index"] = _write_weights_bin(
-                directory / WEIGHTS_BIN_FILE, weights
-            )
-            manifest["weights_sha256"] = _sha256_file(directory / WEIGHTS_BIN_FILE)
+            # overwriting a neural checkpoint with a rule-only one must not
+            # leave the previous model's weights orphaned beside the manifest
             _unlink_if_exists(directory / WEIGHTS_FILE)
-    else:
-        # overwriting a neural checkpoint with a rule-only one must not
-        # leave the previous model's weights orphaned beside the manifest
-        _unlink_if_exists(directory / WEIGHTS_FILE)
-        _unlink_if_exists(directory / WEIGHTS_BIN_FILE)
-    (directory / MANIFEST_FILE).write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+            _unlink_if_exists(directory / WEIGHTS_BIN_FILE)
+        with tracer.span("manifest"):
+            (directory / MANIFEST_FILE).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
     return directory
 
 
@@ -351,55 +358,73 @@ def load_qep2seq(path: PathLike, verify: bool = False) -> QEP2Seq:
     mmap layout (whose default load is structural-only for speed).
     """
     directory = Path(path)
-    manifest = _read_manifest(directory)
-    _expect_kind(manifest, KIND_QEP2SEQ)
-    return _restore_model(
-        _section(manifest, "model"), _read_weights(directory, manifest, verify=verify)
-    )
+    tracer = default_tracer()
+    with tracer.span("checkpoint.load", kind=KIND_QEP2SEQ):
+        with tracer.span("manifest"):
+            manifest = _read_manifest(directory)
+        _expect_kind(manifest, KIND_QEP2SEQ)
+        with tracer.span("restore"):
+            return _restore_model(
+                _section(manifest, "model"),
+                _read_weights(directory, manifest, verify=verify),
+            )
 
 
 def load_neural_lantern(path: PathLike, verify: bool = False) -> NeuralLantern:
     """Load a NEURAL-LANTERN checkpoint (model + exposure state + cache)."""
     directory = Path(path)
-    manifest = _read_manifest(directory)
-    _expect_kind(manifest, KIND_NEURAL)
-    return _restore_neural(manifest, directory, verify=verify)
+    tracer = default_tracer()
+    with tracer.span("checkpoint.load", kind=KIND_NEURAL):
+        with tracer.span("manifest"):
+            manifest = _read_manifest(directory)
+        _expect_kind(manifest, KIND_NEURAL)
+        with tracer.span("restore"):
+            return _restore_neural(manifest, directory, verify=verify)
 
 
 def load_lantern(path: PathLike, verify: bool = False) -> Lantern:
     """Load a full :class:`Lantern` checkpoint."""
     directory = Path(path)
-    manifest = _read_manifest(directory)
-    _expect_kind(manifest, KIND_LANTERN)
-    section = _section(manifest, "lantern")
-    config = _build_config(LanternConfig, section.get("config"), "lantern config")
-    neural = (
-        _restore_neural(manifest, directory, verify=verify)
-        if "neural" in manifest
-        else None
-    )
-    lantern = Lantern(
-        store=_restore_store(section.get("store")), neural=neural, config=config
-    )
-    counts = section.get("operator_counts", {})
-    if not isinstance(counts, dict):
-        raise CheckpointFormatError("the manifest's operator_counts must be an object")
-    lantern._operator_counts = Counter(
-        {str(name): _coerce_int(count, "operator count") for name, count in counts.items()}
-    )
-    for poem_source, state in (section.get("narrator_rng") or {}).items():
-        narrator = RuleLantern(
-            lantern.store, poem_source=poem_source, seed=lantern.config.seed
-        )
-        if narrator._rng is not None:
-            try:
-                narrator._rng.setstate(_decode_rng_state(state))
-            except (TypeError, ValueError) as error:
+    tracer = default_tracer()
+    with tracer.span("checkpoint.load", kind=KIND_LANTERN):
+        with tracer.span("manifest"):
+            manifest = _read_manifest(directory)
+        _expect_kind(manifest, KIND_LANTERN)
+        section = _section(manifest, "lantern")
+        config = _build_config(LanternConfig, section.get("config"), "lantern config")
+        with tracer.span("restore"):
+            neural = (
+                _restore_neural(manifest, directory, verify=verify)
+                if "neural" in manifest
+                else None
+            )
+            lantern = Lantern(
+                store=_restore_store(section.get("store")), neural=neural, config=config
+            )
+            counts = section.get("operator_counts", {})
+            if not isinstance(counts, dict):
                 raise CheckpointFormatError(
-                    f"invalid narrator rng state for {poem_source!r}: {error}"
-                ) from error
-        lantern._narrators[poem_source] = narrator
-    return lantern
+                    "the manifest's operator_counts must be an object"
+                )
+            lantern._operator_counts = Counter(
+                {
+                    str(name): _coerce_int(count, "operator count")
+                    for name, count in counts.items()
+                }
+            )
+            for poem_source, state in (section.get("narrator_rng") or {}).items():
+                narrator = RuleLantern(
+                    lantern.store, poem_source=poem_source, seed=lantern.config.seed
+                )
+                if narrator._rng is not None:
+                    try:
+                        narrator._rng.setstate(_decode_rng_state(state))
+                    except (TypeError, ValueError) as error:
+                        raise CheckpointFormatError(
+                            f"invalid narrator rng state for {poem_source!r}: {error}"
+                        ) from error
+                lantern._narrators[poem_source] = narrator
+            return lantern
 
 
 def _read_manifest(directory: Path) -> dict[str, Any]:

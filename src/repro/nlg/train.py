@@ -31,7 +31,9 @@ from repro.nlg.dataset import build_dataset
 from repro.nlg.neural_lantern import NeuralLantern
 from repro.nlg.persistence import save_lantern, save_neural_lantern
 from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
-from repro.nlg.training import Trainer
+from repro.nlg.training import TelemetryHooks, Trainer, TrainerHooks
+from repro.obs.events import JsonEventLog
+from repro.obs.tracing import default_tracer, format_span_tree
 
 WORKLOADS = ("dblp", "imdb", "tpch", "sdss")
 
@@ -89,6 +91,7 @@ def train_workload_lantern(
     dtype: str = "float64",
     turbo: bool = True,
     verbose: bool = False,
+    hooks: TrainerHooks | None = None,
 ):
     """The one canonical "train a servable narrator" recipe.
 
@@ -101,10 +104,13 @@ def train_workload_lantern(
 
     Returns ``(lantern, database, queries, engine, history)``.
     """
-    database, query_texts, engine = _build_workload(workload, seed, queries)
-    dataset = build_dataset(
-        [(database, query_texts, engine, workload)], paraphrase=paraphrase, seed=seed
-    )
+    tracer = default_tracer()
+    with tracer.span("build_workload", workload=workload, queries=queries):
+        database, query_texts, engine = _build_workload(workload, seed, queries)
+    with tracer.span("build_dataset"):
+        dataset = build_dataset(
+            [(database, query_texts, engine, workload)], paraphrase=paraphrase, seed=seed
+        )
     train_samples = dataset.train_samples[:train_cap]
     validation_samples = dataset.validation_samples[:validation_cap]
     if verbose:
@@ -123,13 +129,14 @@ def train_workload_lantern(
         turbo=turbo,
     )
     model = QEP2Seq(dataset.input_vocabulary, dataset.output_vocabulary, config)
-    history = Trainer(
-        model,
-        train_samples,
-        validation_samples,
-        seed=seed,
-        bucket_by_length=bucket_by_length,
-    ).train(epochs=epochs, early_stopping_threshold=early_stop_threshold)
+    with tracer.span("train", epochs=epochs, train_samples=len(train_samples)):
+        history = Trainer(
+            model,
+            train_samples,
+            validation_samples,
+            seed=seed,
+            bucket_by_length=bucket_by_length,
+        ).train(epochs=epochs, early_stopping_threshold=early_stop_threshold, hooks=hooks)
     neural = NeuralLantern(model, dataset=dataset, beam_size=beam_size)
     lantern = Lantern(neural=neural, config=LanternConfig(seed=None))
     return lantern, database, query_texts, engine, history
@@ -214,6 +221,17 @@ def _parser() -> argparse.ArgumentParser:
         help="weight storage: compressed npz archive, or raw aligned bytes the "
         "loader maps copy-free (LANTERN-ZERO warm boot)",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        help="persist the run as JSONL events (per-batch/per-epoch wall time, "
+        "tokens/s, gradient norms, early-stopping state, phase trace)",
+    )
+    parser.add_argument(
+        "--no-batch-telemetry",
+        action="store_true",
+        help="with --telemetry, keep only epoch/run-level events (smaller files)",
+    )
     parser.add_argument("--out", required=True, help="checkpoint directory to write")
     return parser
 
@@ -227,69 +245,93 @@ def main(argv: list[str] | None = None) -> Path:
         # cannot reproduce them in a fresh process
         parser.error("--parity-sample requires --kind lantern")
 
+    telemetry_log = JsonEventLog(args.telemetry) if args.telemetry else None
+    hooks = (
+        TelemetryHooks(telemetry_log, per_batch=not args.no_batch_telemetry)
+        if telemetry_log is not None
+        else None
+    )
+
     print(f"building the {args.workload} workload ({args.queries} queries) ...")
     started = time.perf_counter()
-    lantern, database, queries, engine, history = train_workload_lantern(
-        workload=args.workload,
-        queries=args.queries,
-        epochs=args.epochs,
-        hidden_dim=args.hidden_dim,
-        attention_dim=args.attention_dim,
-        batch_size=args.batch_size,
-        learning_rate=args.learning_rate,
-        beam_size=args.beam_size,
-        seed=args.seed,
-        train_cap=args.train_cap,
-        validation_cap=args.validation_cap,
-        paraphrase=not args.no_paraphrase,
-        early_stop_threshold=args.early_stop_threshold,
-        bucket_by_length=args.bucket,
-        dtype=args.dtype,
-        turbo=not args.reference_path,
-        verbose=True,
-    )
-    train_seconds = time.perf_counter() - started
-    final = history.final
-    print(
-        f"trained {history.epochs} epochs in {train_seconds:.1f}s — "
-        f"loss {final.train_loss:.3f}, accuracy {final.train_accuracy:.3f}, "
-        f"validation loss {final.validation_loss:.3f}"
-    )
-
-    neural = lantern.neural
-    if args.warm_cache:
-        trees = [lantern.plan_for_sql(database, sql, engine) for sql in queries]
-        lantern.describe_plans(trees, mode="neural")
-        print(f"warmed the decode cache: {len(neural.decode_cache)} act signatures")
-
-    out = Path(args.out)
-    if args.kind == "neural":
-        save_neural_lantern(
-            neural, out, include_cache=not args.no_cache, weights_layout=args.weights_layout
+    root = default_tracer().trace("nlg.train", workload=args.workload)
+    with root:
+        lantern, database, queries, engine, history = train_workload_lantern(
+            workload=args.workload,
+            queries=args.queries,
+            epochs=args.epochs,
+            hidden_dim=args.hidden_dim,
+            attention_dim=args.attention_dim,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            beam_size=args.beam_size,
+            seed=args.seed,
+            train_cap=args.train_cap,
+            validation_cap=args.validation_cap,
+            paraphrase=not args.no_paraphrase,
+            early_stop_threshold=args.early_stop_threshold,
+            bucket_by_length=args.bucket,
+            dtype=args.dtype,
+            turbo=not args.reference_path,
+            verbose=True,
+            hooks=hooks,
         )
-    else:
-        save_lantern(
-            lantern, out, include_cache=not args.no_cache, weights_layout=args.weights_layout
+        train_seconds = time.perf_counter() - started
+        final = history.final
+        print(
+            f"trained {history.epochs} epochs in {train_seconds:.1f}s — "
+            f"loss {final.train_loss:.3f}, accuracy {final.train_accuracy:.3f}, "
+            f"validation loss {final.validation_loss:.3f}"
         )
-    size = sum(f.stat().st_size for f in out.iterdir() if f.is_file())
-    print(f"checkpoint written to {out} ({size / 1024:.0f} KiB, kind={args.kind})")
 
-    if args.parity_sample:
-        # narrated AFTER the save: the saved state is the starting point for
-        # these exact narrations, so a fresh process that loads the
-        # checkpoint must reproduce them token for token
-        sample_sqls = queries[: min(4, len(queries))]
-        payloads = [database.explain(sql, output_format="json") for sql in sample_sqls]
-        texts = [
-            lantern.describe_plan(lantern.parse_plan(payload), mode="neural").text
-            for payload in payloads
-        ]
-        Path(args.parity_sample).write_text(
-            json.dumps({"mode": "neural", "payloads": payloads, "texts": texts}, indent=2)
-            + "\n",
-            encoding="utf-8",
+        neural = lantern.neural
+        if args.warm_cache:
+            with default_tracer().span("warm_cache"):
+                trees = [lantern.plan_for_sql(database, sql, engine) for sql in queries]
+                lantern.describe_plans(trees, mode="neural")
+            print(f"warmed the decode cache: {len(neural.decode_cache)} act signatures")
+
+        out = Path(args.out)
+        with default_tracer().span("save", kind=args.kind, layout=args.weights_layout):
+            if args.kind == "neural":
+                save_neural_lantern(
+                    neural, out, include_cache=not args.no_cache, weights_layout=args.weights_layout
+                )
+            else:
+                save_lantern(
+                    lantern, out, include_cache=not args.no_cache, weights_layout=args.weights_layout
+                )
+        size = sum(f.stat().st_size for f in out.iterdir() if f.is_file())
+        print(f"checkpoint written to {out} ({size / 1024:.0f} KiB, kind={args.kind})")
+
+        if args.parity_sample:
+            # narrated AFTER the save: the saved state is the starting point
+            # for these exact narrations, so a fresh process that loads the
+            # checkpoint must reproduce them token for token
+            sample_sqls = queries[: min(4, len(queries))]
+            payloads = [database.explain(sql, output_format="json") for sql in sample_sqls]
+            texts = [
+                lantern.describe_plan(lantern.parse_plan(payload), mode="neural").text
+                for payload in payloads
+            ]
+            Path(args.parity_sample).write_text(
+                json.dumps({"mode": "neural", "payloads": payloads, "texts": texts}, indent=2)
+                + "\n",
+                encoding="utf-8",
+            )
+            print(f"parity sample ({len(payloads)} plans) written to {args.parity_sample}")
+
+    phase_trace = root.to_dict() if root else None
+    if phase_trace:
+        print("phase timings:")
+        print(format_span_tree(phase_trace, indent=1))
+    if telemetry_log is not None:
+        if phase_trace:
+            telemetry_log.emit({"event": "trace", **phase_trace})
+        telemetry_log.close()
+        print(
+            f"telemetry ({telemetry_log.emitted} events) written to {args.telemetry}"
         )
-        print(f"parity sample ({len(payloads)} plans) written to {args.parity_sample}")
 
     if args.kind == "lantern":
         print(f"serve it with: python -m repro.service --checkpoint {out}")

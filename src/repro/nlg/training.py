@@ -32,6 +32,129 @@ class EpochRecord:
     validation_loss: float
     validation_accuracy: float
     seconds: float
+    #: non-padded target tokens consumed by the epoch's training pass
+    tokens: int = 0
+    #: training throughput (``tokens`` / training-pass wall time)
+    tokens_per_second: float = 0.0
+    #: pre-clip global gradient L2 norm of the epoch's final optimizer step
+    grad_norm: Optional[float] = None
+
+
+class TrainerHooks:
+    """Callback API for observing a :meth:`Trainer.train` run.
+
+    Subclass and override what you need — every hook is a no-op by default,
+    and the Trainer behaves identically with or without hooks attached
+    (they observe, they never steer).  :class:`TelemetryHooks` is the
+    standard JSONL-emitting implementation behind
+    ``python -m repro.nlg.train --telemetry out.jsonl``.
+    """
+
+    def on_train_begin(self, trainer: "Trainer", epochs: int, batch_size: int) -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_begin(self, epoch: int) -> None:
+        """Called at the top of every epoch, before the shuffle."""
+
+    def on_batch_end(
+        self,
+        epoch: int,
+        batch_index: int,
+        loss: float,
+        accuracy: float,
+        tokens: int,
+        seconds: float,
+        grad_norm: Optional[float],
+    ) -> None:
+        """Called after every *training* batch (not validation batches)."""
+
+    def on_epoch_end(self, record: EpochRecord, early_stopping: dict) -> None:
+        """Called with the finished epoch's record and the early-stopping
+        state (``window``, ``threshold``, ``fluctuation``, ``triggered``)."""
+
+    def on_train_end(self, history: "TrainingHistory") -> None:
+        """Called once after the last epoch (stopped early or not)."""
+
+
+class TelemetryHooks(TrainerHooks):
+    """Persist a training run as structured JSONL events.
+
+    ``log`` is anything with an ``emit(dict)`` method — normally a
+    :class:`repro.obs.events.JsonEventLog`.  Set ``per_batch=False`` to
+    keep only the epoch/run-level events (long runs, small files).
+    """
+
+    def __init__(self, log, per_batch: bool = True) -> None:
+        self.log = log
+        self.per_batch = per_batch
+
+    def on_train_begin(self, trainer: "Trainer", epochs: int, batch_size: int) -> None:
+        self.log.emit(
+            {
+                "event": "train_begin",
+                "epochs": epochs,
+                "batch_size": batch_size,
+                "train_samples": len(trainer.train_samples),
+                "validation_samples": len(trainer.validation_samples),
+                "precision": trainer.model.precision,
+            }
+        )
+
+    def on_batch_end(
+        self,
+        epoch: int,
+        batch_index: int,
+        loss: float,
+        accuracy: float,
+        tokens: int,
+        seconds: float,
+        grad_norm: Optional[float],
+    ) -> None:
+        if not self.per_batch:
+            return
+        self.log.emit(
+            {
+                "event": "batch",
+                "epoch": epoch,
+                "batch": batch_index,
+                "loss": round(float(loss), 6),
+                "accuracy": round(float(accuracy), 6),
+                "tokens": tokens,
+                "seconds": round(seconds, 6),
+                "tokens_per_second": round(tokens / seconds, 3) if seconds > 0 else 0.0,
+                "grad_norm": round(grad_norm, 6) if grad_norm is not None else None,
+            }
+        )
+
+    def on_epoch_end(self, record: EpochRecord, early_stopping: dict) -> None:
+        self.log.emit(
+            {
+                "event": "epoch",
+                "epoch": record.epoch,
+                "train_loss": round(record.train_loss, 6),
+                "train_accuracy": round(record.train_accuracy, 6),
+                "validation_loss": round(record.validation_loss, 6),
+                "validation_accuracy": round(record.validation_accuracy, 6),
+                "seconds": round(record.seconds, 6),
+                "tokens": record.tokens,
+                "tokens_per_second": round(record.tokens_per_second, 3),
+                "grad_norm": (
+                    round(record.grad_norm, 6) if record.grad_norm is not None else None
+                ),
+                "early_stopping": early_stopping,
+            }
+        )
+
+    def on_train_end(self, history: "TrainingHistory") -> None:
+        self.log.emit(
+            {
+                "event": "train_end",
+                "epochs": history.epochs,
+                "stopped_early": history.stopped_early,
+                "total_seconds": round(history.total_seconds, 6),
+                "best_validation_loss": round(history.best_validation_loss, 6),
+            }
+        )
 
 
 @dataclass
@@ -148,7 +271,15 @@ class Trainer:
             for chunk in self._chunks(samples, batch_size)
         )
 
-    def _run_batches(self, samples: Sequence[TrainingSample], batch_size: int, train: bool):
+    def _run_batches(
+        self,
+        samples: Sequence[TrainingSample],
+        batch_size: int,
+        train: bool,
+        hooks: Optional[TrainerHooks] = None,
+        epoch: int = 0,
+        stats: Optional[dict] = None,
+    ):
         # per-batch means are combined weighted by chunk size: an unweighted
         # average would overweight a partial final batch (e.g. 1 sample out
         # of 33 contributing 1/9th of the epoch metric instead of 1/33rd),
@@ -157,14 +288,37 @@ class Trainer:
         loss_sum = 0.0
         accuracy_sum = 0.0
         sample_count = 0
-        for batch, chunk_size in self._batches(samples, batch_size, train):
+        tokens_total = 0
+        observing = train and (hooks is not None or stats is not None)
+        for batch_index, (batch, chunk_size) in enumerate(
+            self._batches(samples, batch_size, train)
+        ):
+            batch_started = time.perf_counter() if observing else 0.0
             if train:
                 loss, accuracy = self.model.train_batch(batch)
             else:
                 loss, accuracy = self.model.evaluate_batch(batch)
+            if observing:
+                tokens = int(batch.decoder_mask.sum())
+                tokens_total += tokens
+                grad_norm = getattr(self.model.optimizer, "last_grad_norm", None)
+                if hooks is not None:
+                    hooks.on_batch_end(
+                        epoch,
+                        batch_index,
+                        loss,
+                        accuracy,
+                        tokens,
+                        time.perf_counter() - batch_started,
+                        grad_norm,
+                    )
+                if stats is not None:
+                    stats["grad_norm"] = grad_norm
             loss_sum += loss * chunk_size
             accuracy_sum += accuracy * chunk_size
             sample_count += chunk_size
+        if stats is not None:
+            stats["tokens"] = tokens_total
         if not sample_count:
             return 0.0, 0.0
         return loss_sum / sample_count, accuracy_sum / sample_count
@@ -175,31 +329,64 @@ class Trainer:
         batch_size: Optional[int] = None,
         early_stopping_threshold: Optional[float] = 0.001,
         early_stopping_window: int = 5,
+        hooks: Optional[TrainerHooks] = None,
     ) -> TrainingHistory:
-        """Train for up to ``epochs`` epochs, recording the metric curves."""
+        """Train for up to ``epochs`` epochs, recording the metric curves.
+
+        ``hooks`` (a :class:`TrainerHooks`) observes the run — per-batch and
+        per-epoch wall time, token throughput, gradient norms, and the
+        early-stopping state — without altering any training behaviour.
+        """
         batch_size = batch_size or self.model.config.batch_size
         history = TrainingHistory()
+        if hooks is not None:
+            hooks.on_train_begin(self, epochs, batch_size)
         for epoch in range(1, epochs + 1):
+            if hooks is not None:
+                hooks.on_epoch_begin(epoch)
             started = time.perf_counter()
             shuffled = list(self.train_samples)
             self._rng.shuffle(shuffled)
-            train_loss, train_accuracy = self._run_batches(shuffled, batch_size, train=True)
+            stats: dict = {}
+            train_loss, train_accuracy = self._run_batches(
+                shuffled, batch_size, train=True, hooks=hooks, epoch=epoch, stats=stats
+            )
+            train_seconds = time.perf_counter() - started
             validation_loss, validation_accuracy = self._run_batches(
                 self.validation_samples, batch_size, train=False
             )
-            history.records.append(
-                EpochRecord(
-                    epoch=epoch,
-                    train_loss=train_loss,
-                    train_accuracy=train_accuracy,
-                    validation_loss=validation_loss,
-                    validation_accuracy=validation_accuracy,
-                    seconds=time.perf_counter() - started,
-                )
+            tokens = stats.get("tokens", 0)
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=train_loss,
+                train_accuracy=train_accuracy,
+                validation_loss=validation_loss,
+                validation_accuracy=validation_accuracy,
+                seconds=time.perf_counter() - started,
+                tokens=tokens,
+                tokens_per_second=(
+                    round(tokens / train_seconds, 3) if train_seconds > 0 else 0.0
+                ),
+                grad_norm=stats.get("grad_norm"),
             )
+            history.records.append(record)
+            early_stopping = {
+                "threshold": early_stopping_threshold,
+                "window": early_stopping_window,
+                "fluctuation": None,
+                "triggered": False,
+            }
             if early_stopping_threshold is not None and len(history.records) >= early_stopping_window:
                 window = history.series("train_loss")[-early_stopping_window:]
-                if max(window) - min(window) < early_stopping_threshold:
+                fluctuation = max(window) - min(window)
+                early_stopping["fluctuation"] = round(fluctuation, 6)
+                if fluctuation < early_stopping_threshold:
+                    early_stopping["triggered"] = True
                     history.stopped_early = True
-                    break
+            if hooks is not None:
+                hooks.on_epoch_end(record, early_stopping)
+            if history.stopped_early:
+                break
+        if hooks is not None:
+            hooks.on_train_end(history)
         return history

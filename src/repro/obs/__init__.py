@@ -1,0 +1,51 @@
+"""LANTERN-SCOPE: the dependency-free tracing + metrics core.
+
+One small substrate shared by serving and training:
+
+* :mod:`repro.obs.tracing` — nested :class:`Span` trees with per-request
+  trace ids, a per-thread :class:`Tracer`, the ``GET /trace`` backing
+  :class:`TraceStore`, and a process-wide :func:`default_tracer` the
+  checkpoint and CLI phases report through;
+* :mod:`repro.obs.histogram` — fixed-bucket :class:`Histogram` (stage and
+  endpoint latencies) plus the exact :func:`percentile` helper;
+* :mod:`repro.obs.prometheus` — text exposition rendering for scrapers;
+* :mod:`repro.obs.events` — the structured JSONL sink behind
+  ``--trace-log`` and ``--telemetry``.
+
+Pure stdlib, importable anywhere the library is.
+"""
+
+from repro.obs.events import JsonEventLog, read_events
+from repro.obs.histogram import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Histogram,
+    percentile,
+)
+from repro.obs.prometheus import CONTENT_TYPE, PrometheusWriter, validate_exposition
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Span,
+    TraceStore,
+    Tracer,
+    default_tracer,
+    format_span_tree,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Histogram",
+    "JsonEventLog",
+    "NOOP_SPAN",
+    "PrometheusWriter",
+    "Span",
+    "TraceStore",
+    "Tracer",
+    "default_tracer",
+    "format_span_tree",
+    "percentile",
+    "read_events",
+    "validate_exposition",
+]

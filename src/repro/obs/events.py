@@ -1,0 +1,59 @@
+"""Structured JSON event logs (one JSON object per line).
+
+The shared sink behind ``--trace-log`` on the service and ``--telemetry``
+on the training CLI: every event is a flat JSON object stamped with a
+wall-clock ``ts``, appended under a lock so concurrent emitters (HTTP
+handler threads, the batch worker, training hooks) never interleave bytes.
+Lines are flushed eagerly — an operator tailing the file during a run sees
+events as they happen, and a crashed process loses at most the line being
+written.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable, Union
+
+
+class JsonEventLog:
+    """Append-only JSONL sink; also usable as a context manager."""
+
+    def __init__(self, path: Union[str, Path], append: bool = False) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a" if append else "w", encoding="utf-8")
+        self.emitted = 0
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Write one event line (a ``ts`` wall-clock stamp is added)."""
+        record = {"ts": round(time.time(), 6), **event}
+        line = json.dumps(record, ensure_ascii=False, default=str) + "\n"
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line)
+            self._handle.flush()
+            self.emitted += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonEventLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> Iterable[dict[str, Any]]:
+    """Parse a JSONL event file back into dicts (skips blank lines)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,139 @@
+"""Prometheus text exposition (version 0.0.4) rendering.
+
+A tiny writer for the three metric families LANTERN-SCOPE exports —
+counters, gauges, and histograms — producing the line format every
+Prometheus-compatible scraper parses::
+
+    # HELP lantern_requests_total Finished HTTP requests.
+    # TYPE lantern_requests_total counter
+    lantern_requests_total{endpoint="/narrate",status="200"} 41
+
+The same :class:`repro.obs.histogram.Histogram` objects that feed the JSON
+``/metrics`` document render here as ``_bucket``/``_sum``/``_count``
+series, so scrapers and the JSON dashboard can never disagree about what
+was measured.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional, Union
+
+from repro.obs.histogram import Histogram
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+Labels = Optional[dict[str, Any]]
+
+
+def _escape_label_value(value: Any) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: Labels, extra: Labels = None) -> str:
+    merged: dict[str, Any] = {}
+    if labels:
+        merged.update(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in merged.items())
+    return "{" + inner + "}"
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _format_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    text = f"{bound:.10f}".rstrip("0").rstrip(".")
+    return text or "0"
+
+
+class PrometheusWriter:
+    """Accumulates exposition lines; ``render()`` returns the document."""
+
+    def __init__(self, prefix: str = "lantern") -> None:
+        self.prefix = prefix
+        self._lines: list[str] = []
+
+    def _header(self, name: str, kind: str, help_text: str) -> str:
+        self._lines.append(f"# HELP {name} {help_text}")
+        self._lines.append(f"# TYPE {name} {kind}")
+        return name
+
+    def counter(
+        self,
+        name: str,
+        help_text: str,
+        samples: Iterable[tuple[Labels, Union[int, float]]],
+    ) -> None:
+        full = self._header(f"{self.prefix}_{name}", "counter", help_text)
+        for labels, value in samples:
+            self._lines.append(f"{full}{_labels_text(labels)} {_format_value(value)}")
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        samples: Iterable[tuple[Labels, Union[int, float]]],
+    ) -> None:
+        full = self._header(f"{self.prefix}_{name}", "gauge", help_text)
+        for labels, value in samples:
+            self._lines.append(f"{full}{_labels_text(labels)} {_format_value(value)}")
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        samples: Iterable[tuple[Labels, Histogram]],
+    ) -> None:
+        full = self._header(f"{self.prefix}_{name}", "histogram", help_text)
+        for labels, histogram in samples:
+            for bound, cumulative in histogram.cumulative_buckets():
+                bucket_labels = _labels_text(labels, {"le": _format_bound(bound)})
+                self._lines.append(f"{full}_bucket{bucket_labels} {cumulative}")
+            suffix_labels = _labels_text(labels)
+            self._lines.append(f"{full}_sum{suffix_labels} {_format_value(float(histogram.total))}")
+            self._lines.append(f"{full}_count{suffix_labels} {histogram.count}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def validate_exposition(text: str) -> int:
+    """Cheap line-format check used by tests and the CI smoke job.
+
+    Verifies every non-comment line parses as ``name{labels} value`` with a
+    finite-or-Inf float value and balanced label braces; returns the number
+    of samples.  Raises ``ValueError`` on the first malformed line.
+    """
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line or line.startswith("#"):
+            if line.startswith("#") and not (
+                line.startswith("# HELP ") or line.startswith("# TYPE ")
+            ):
+                raise ValueError(f"line {lineno}: unknown comment form: {line!r}")
+            continue
+        head, _, value_text = line.rpartition(" ")
+        if not head:
+            raise ValueError(f"line {lineno}: no metric name: {line!r}")
+        if value_text not in ("+Inf", "-Inf", "NaN"):
+            float(value_text)  # raises ValueError on garbage
+        name = head.split("{", 1)[0]
+        if not name or not all(c.isalnum() or c in "_:" for c in name):
+            raise ValueError(f"line {lineno}: invalid metric name {name!r}")
+        if head.count("{") != head.count("}"):
+            raise ValueError(f"line {lineno}: unbalanced label braces: {line!r}")
+        samples += 1
+    if samples == 0:
+        raise ValueError("exposition contains no samples")
+    return samples

@@ -3,12 +3,14 @@
 The serving layer that exposes LANTERN to many clients at once:
 
 * :mod:`repro.service.server` — a stdlib ``ThreadingHTTPServer`` JSON API
-  (``POST /narrate``, ``GET /metrics``, ``GET /healthz``);
+  (``POST /narrate``, ``GET /metrics`` — JSON or ``?format=prometheus`` —
+  ``GET /trace``, ``GET /healthz``);
 * :mod:`repro.service.batcher` — the micro-batching request queue that
   coalesces concurrent narrations into one fused neural decode per batch
   window, with bounded-queue admission control;
 * :mod:`repro.service.telemetry` — live request/latency/batching/cache
-  metrics behind ``/metrics``;
+  metrics behind ``/metrics``, backed by the LANTERN-SCOPE histograms in
+  :mod:`repro.obs`;
 * :mod:`repro.service.client` — a small ``urllib`` client.
 
 Run it with ``python -m repro.service`` (see ``--help`` for knobs), or embed

@@ -76,6 +76,23 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--max-queue-depth", type=int, default=256, help="admission-control bound (429 beyond)"
     )
+    parser.add_argument(
+        "--trace-log",
+        metavar="FILE",
+        help="append sampled request traces as JSONL events to FILE (LANTERN-SCOPE)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="log every Nth finished trace to --trace-log (default: every trace)",
+    )
+    parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable span collection entirely (GET /trace will be empty)",
+    )
     args = parser.parse_args(argv)
     if args.compiled_cache and not args.checkpoint:
         parser.error("--compiled-cache requires --checkpoint")
@@ -112,6 +129,9 @@ def main(argv: list[str] | None = None) -> None:
         max_batch_size=args.max_batch_size,
         batch_window_s=args.batch_window_ms / 1000.0,
         max_queue_depth=args.max_queue_depth,
+        tracing_enabled=not args.no_tracing,
+        trace_log=args.trace_log,
+        trace_log_every=args.trace_sample,
     )
     service.serve_forever()
 

@@ -38,6 +38,7 @@ from typing import Optional
 from repro.core.lantern import MODE_RULE, Lantern
 from repro.core.narration import Narration
 from repro.errors import ServiceOverloadError, ServiceTimeoutError
+from repro.obs.tracing import NOOP_SPAN, Span
 from repro.plans.operator_tree import OperatorTree
 from repro.service.telemetry import ServiceTelemetry
 
@@ -57,16 +58,29 @@ class BatcherConfig:
 
 
 class _PendingRequest:
-    """One submitted narration, owned by the submitting thread."""
+    """One submitted narration, owned by the submitting thread.
 
-    __slots__ = ("tree", "mode", "event", "narration", "error")
+    Carries its request's span context across the thread boundary: the
+    submitting handler owns the root span, the worker attaches completed
+    ``queue_wait`` / ``batch_assembly`` / ``decode`` children to it from the
+    perf-counter timestamps stamped at enqueue and dequeue.
+    """
 
-    def __init__(self, tree: OperatorTree, mode: str) -> None:
+    __slots__ = (
+        "tree", "mode", "event", "narration", "error",
+        "span", "enqueued_at", "dequeued_at", "answered_at",
+    )
+
+    def __init__(self, tree: OperatorTree, mode: str, span: Span = NOOP_SPAN) -> None:
         self.tree = tree
         self.mode = mode
         self.event = threading.Event()
         self.narration: Optional[Narration] = None
         self.error: Optional[Exception] = None
+        self.span = span
+        self.enqueued_at = time.perf_counter()
+        self.dequeued_at = self.enqueued_at
+        self.answered_at: Optional[float] = None
 
 
 class MicroBatcher:
@@ -144,9 +158,18 @@ class MicroBatcher:
     # ------------------------------------------------------------------
 
     def submit(
-        self, tree: OperatorTree, mode: str = MODE_RULE, timeout_s: Optional[float] = None
+        self,
+        tree: OperatorTree,
+        mode: str = MODE_RULE,
+        timeout_s: Optional[float] = None,
+        span: Optional[Span] = None,
     ) -> Narration:
-        """Enqueue one narration and block until the worker answers it."""
+        """Enqueue one narration and block until the worker answers it.
+
+        ``span`` (when tracing) is the request's root span; the worker
+        attaches the queue/batch/decode stage children to it.
+        """
+        submitted_at = time.perf_counter()
         worker = self._worker  # snapshot: a concurrent stop() may None it
         if self._stopping.is_set():
             # a stuck worker can survive stop() (reference kept, see above);
@@ -155,7 +178,11 @@ class MicroBatcher:
             raise ServiceTimeoutError("the narration service is shutting down")
         if worker is None or not worker.is_alive():
             raise ServiceTimeoutError("the narration worker is not running")
-        request = _PendingRequest(tree, mode)
+        request = _PendingRequest(tree, mode, span if span is not None else NOOP_SPAN)
+        # queue wait is measured from submit entry: the admission-control
+        # checks above are part of getting into the queue, not of admission
+        # parsing, and counting them here keeps the trace's stages contiguous
+        request.enqueued_at = submitted_at
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -183,6 +210,12 @@ class MicroBatcher:
         if not request.event.wait(timeout):
             # the worker may still answer later; the submitter has moved on
             raise ServiceTimeoutError(f"narration not produced within {timeout:.1f}s")
+        if request.span and request.answered_at is not None:
+            # result hand-off: from the batch decode finishing to this
+            # submitter resuming (the worker's result-distribution loop plus
+            # the thread wake) — without it the trace's stages would show an
+            # unexplained hole after decode
+            request.span.add_child_at("wake", request.answered_at, time.perf_counter())
         if request.error is not None:
             raise request.error
         assert request.narration is not None
@@ -198,22 +231,38 @@ class MicroBatcher:
             first = self._queue.get(timeout=0.1)
         except queue.Empty:
             return []
+        first.dequeued_at = time.perf_counter()
         batch = [first]
         deadline = time.monotonic() + self.config.batch_window_s
         while len(batch) < self.config.max_batch_size:
             try:
-                batch.append(self._queue.get_nowait())
-                continue
+                request = self._queue.get_nowait()
             except queue.Empty:
-                pass
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                break
-            try:
-                batch.append(self._queue.get(timeout=remaining))
-            except queue.Empty:
-                break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    request = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+            request.dequeued_at = time.perf_counter()
+            batch.append(request)
         return batch
+
+    def _cache_counters(self) -> tuple[int, int]:
+        """Current (hits, misses) of the neural decode cache, or zeros."""
+        neural = getattr(self.lantern, "neural", None)
+        cache = getattr(neural, "decode_cache", None)
+        if cache is None:
+            return 0, 0
+        return int(cache.hits), int(cache.misses)
+
+    def _decode_precision(self) -> str:
+        """The precision tag for decode spans (``"rule"`` when no model)."""
+        neural = getattr(self.lantern, "neural", None)
+        model = getattr(neural, "model", None)
+        precision = getattr(model, "precision", None)
+        return str(precision) if precision else "rule"
 
     def _run(self) -> None:
         while not (self._stopping.is_set() and self._queue.empty()):
@@ -225,6 +274,12 @@ class MicroBatcher:
                 continue
             if self.telemetry is not None:
                 self.telemetry.record_batch(len(batch))
+                for request in batch:
+                    self.telemetry.record_stage(
+                        "queue_wait", max(request.dequeued_at - request.enqueued_at, 0.0)
+                    )
+            decode_start = time.perf_counter()
+            hits_before, misses_before = self._cache_counters()
             try:
                 results = self.lantern.describe_plans(
                     [request.tree for request in batch],
@@ -232,13 +287,66 @@ class MicroBatcher:
                     collect_errors=True,
                 )
             except Exception as error:  # noqa: BLE001 - fail the whole batch
+                decode_end = time.perf_counter()
+                if self.telemetry is not None:
+                    self.telemetry.record_batch_failure(error)
                 for request in batch:
                     request.error = error
+                    self._attach_stage_spans(
+                        request, decode_start, decode_end, len(batch),
+                        0, 0, error=type(error).__name__,
+                    )
+                    request.answered_at = decode_end
                     request.event.set()
                 continue
+            decode_end = time.perf_counter()
+            hits_after, misses_after = self._cache_counters()
+            if self.telemetry is not None:
+                for request in batch:
+                    self.telemetry.record_stage(
+                        "batch_assembly", max(decode_start - request.dequeued_at, 0.0)
+                    )
+                self.telemetry.record_stage("decode", decode_end - decode_start)
             for request, result in zip(batch, results):
                 if isinstance(result, Exception):
                     request.error = result
                 else:
                     request.narration = result
+                self._attach_stage_spans(
+                    request, decode_start, decode_end, len(batch),
+                    hits_after - hits_before, misses_after - misses_before,
+                )
+                request.answered_at = decode_end
                 request.event.set()
+
+    def _attach_stage_spans(
+        self,
+        request: _PendingRequest,
+        decode_start: float,
+        decode_end: float,
+        batch_size: int,
+        cache_hits: int,
+        cache_misses: int,
+        error: Optional[str] = None,
+    ) -> None:
+        """Attach the worker-side stage children to the request's root span.
+
+        The root span lives on the submitting handler thread; these children
+        are complete (explicit start/end timestamps), so attaching them here
+        never races the root's own lifecycle.
+        """
+        span = request.span
+        if not span:
+            return
+        span.add_child_at("queue_wait", request.enqueued_at, request.dequeued_at)
+        span.add_child_at("batch_assembly", request.dequeued_at, decode_start)
+        decode_tags = {
+            "batch_size": batch_size,
+            "mode": request.mode,
+            "precision": self._decode_precision(),
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+        }
+        if error is not None:
+            decode_tags["error"] = error
+        span.add_child_at("decode", decode_start, decode_end, **decode_tags)

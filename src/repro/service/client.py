@@ -90,6 +90,15 @@ class LanternClient:
     def metrics(self) -> dict[str, Any]:
         return self._request("GET", "/metrics")
 
+    def prometheus_metrics(self) -> str:
+        """GET ``/metrics?format=prometheus``: the raw text exposition."""
+        return self._request("GET", "/metrics?format=prometheus", raw=True)
+
+    def trace(self, limit: Optional[int] = None) -> dict[str, Any]:
+        """GET ``/trace``: the N slowest recent request span trees."""
+        path = "/trace" if limit is None else f"/trace?limit={int(limit)}"
+        return self._request("GET", path)
+
     def healthz(self) -> dict[str, Any]:
         return self._request("GET", "/healthz")
 
@@ -141,8 +150,13 @@ class LanternClient:
     # ------------------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Optional[dict[str, Any]] = None
-    ) -> dict[str, Any]:
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict[str, Any]] = None,
+        raw: bool = False,
+    ) -> Any:
+        """One request; decodes JSON unless ``raw`` (returns the text)."""
         data = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if data else {}
         if not self.keep_alive:
@@ -177,6 +191,8 @@ class LanternClient:
 
         if response.will_close or not self.keep_alive:
             self._drop_connection()
+        if raw and 200 <= response.status < 300:
+            return payload.decode("utf-8", errors="replace")
         try:
             decoded = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 
+from urllib.parse import parse_qs
+
 from repro.core.lantern import MODE_AUTO, MODE_NEURAL, MODE_RULE, Lantern
 from repro.core.narration import Narration
 from repro.core.presentation import PRESENTATION_MODES
@@ -42,6 +44,9 @@ from repro.errors import (
     ServiceOverloadError,
     ServiceTimeoutError,
 )
+from repro.obs.events import JsonEventLog
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.tracing import NOOP_SPAN, Span, TraceStore, Tracer
 from repro.service.batcher import BatcherConfig, MicroBatcher
 from repro.service.telemetry import ServiceTelemetry
 
@@ -95,6 +100,16 @@ class ServiceConfig:
     #: default narration mode when a request does not name one
     default_mode: str = MODE_RULE
     batcher: BatcherConfig = field(default_factory=BatcherConfig)
+    #: LANTERN-SCOPE tracing knobs
+    tracing_enabled: bool = True
+    #: how many recent traces the ``GET /trace`` store remembers
+    trace_window: int = 256
+    #: how many slowest-of-window traces ``GET /trace`` returns by default
+    trace_keep: int = 16
+    #: JSONL file receiving sampled trace events (``--trace-log``); None = off
+    trace_log: Optional[str] = None
+    #: emit every Nth finished trace to the trace log (1 = all)
+    trace_log_every: int = 1
 
 
 class LanternService:
@@ -120,6 +135,15 @@ class LanternService:
         )
         self.config = config or ServiceConfig()
         self.telemetry = ServiceTelemetry()
+        self.trace_log: Optional[JsonEventLog] = (
+            JsonEventLog(self.config.trace_log) if self.config.trace_log else None
+        )
+        self.tracer = Tracer(
+            enabled=self.config.tracing_enabled,
+            store=TraceStore(window=self.config.trace_window, keep=self.config.trace_keep),
+            log=self.trace_log,
+            log_every=self.config.trace_log_every,
+        )
         self.batcher = MicroBatcher(
             self.lantern, config=self.config.batcher, telemetry=self.telemetry
         )
@@ -130,60 +154,74 @@ class LanternService:
     # request handling (transport-independent)
     # ------------------------------------------------------------------
 
-    def narrate_payload(self, body: dict[str, Any]) -> dict[str, Any]:
-        """Validate one ``/narrate`` body, narrate it, shape the response."""
-        if not isinstance(body, dict):
-            raise _HTTPError(
-                400, {"error": "bad_request", "message": "request body must be a JSON object"}
+    def narrate_payload(
+        self, body: dict[str, Any], span: Span = NOOP_SPAN
+    ) -> dict[str, Any]:
+        """Validate one ``/narrate`` body, narrate it, shape the response.
+
+        ``span`` (when tracing) is the request's root span: validation and
+        plan ingest run under an ``admission`` child, and the span rides the
+        queued request so the batch worker can attach the queue/decode
+        stages.
+        """
+        admission_started = time.perf_counter()
+        with span.child("admission"):
+            if not isinstance(body, dict):
+                raise _HTTPError(
+                    400, {"error": "bad_request", "message": "request body must be a JSON object"}
+                )
+            if "plan" not in body:
+                raise _HTTPError(
+                    400, {"error": "bad_request", "message": "request body needs a 'plan' key"}
+                )
+            mode = body.get("mode", self.config.default_mode)
+            if mode not in _MODES:
+                raise _HTTPError(
+                    400,
+                    {
+                        "error": "bad_request",
+                        "message": f"unknown mode {mode!r}; expected one of {list(_MODES)}",
+                    },
+                )
+            presentation = body.get("presentation")
+            if presentation is not None and presentation not in PRESENTATION_MODES:
+                raise _HTTPError(
+                    400,
+                    {
+                        "error": "bad_request",
+                        "message": (
+                            f"unknown presentation {presentation!r}; "
+                            f"expected one of {list(PRESENTATION_MODES)}"
+                        ),
+                    },
+                )
+            plan_format = body.get("format")
+            try:
+                tree, resolved_format = self.lantern.registry.ingest(
+                    body["plan"], plan_format
+                )
+            except PlanDetectionError as error:
+                raise _HTTPError(
+                    400,
+                    {
+                        "error": "plan_format",
+                        "message": str(error),
+                        "attempted_formats": error.attempted_formats,
+                    },
+                ) from error
+            except PlanFormatError as error:
+                raise _HTTPError(
+                    400,
+                    {"error": "plan_format", "message": str(error)},
+                ) from error
+            span.tag(format=resolved_format, mode=mode)
+            self.telemetry.record_stage(
+                "admission", time.perf_counter() - admission_started
             )
-        if "plan" not in body:
-            raise _HTTPError(
-                400, {"error": "bad_request", "message": "request body needs a 'plan' key"}
-            )
-        mode = body.get("mode", self.config.default_mode)
-        if mode not in _MODES:
-            raise _HTTPError(
-                400,
-                {
-                    "error": "bad_request",
-                    "message": f"unknown mode {mode!r}; expected one of {list(_MODES)}",
-                },
-            )
-        presentation = body.get("presentation")
-        if presentation is not None and presentation not in PRESENTATION_MODES:
-            raise _HTTPError(
-                400,
-                {
-                    "error": "bad_request",
-                    "message": (
-                        f"unknown presentation {presentation!r}; "
-                        f"expected one of {list(PRESENTATION_MODES)}"
-                    ),
-                },
-            )
-        plan_format = body.get("format")
-        try:
-            tree, resolved_format = self.lantern.registry.ingest(
-                body["plan"], plan_format
-            )
-        except PlanDetectionError as error:
-            raise _HTTPError(
-                400,
-                {
-                    "error": "plan_format",
-                    "message": str(error),
-                    "attempted_formats": error.attempted_formats,
-                },
-            ) from error
-        except PlanFormatError as error:
-            raise _HTTPError(
-                400,
-                {"error": "plan_format", "message": str(error)},
-            ) from error
 
         started = time.perf_counter()
         try:
-            narration = self.batcher.submit(tree, mode=mode)
+            narration = self.batcher.submit(tree, mode=mode, span=span)
         except ServiceOverloadError as error:
             raise _HTTPError(
                 429, {"error": "overloaded", "message": str(error), "retry_after_s": 1}
@@ -196,17 +234,18 @@ class LanternService:
             ) from error
         latency_s = time.perf_counter() - started
 
-        response: dict[str, Any] = {
-            "narration": _narration_to_dict(narration),
-            "format": resolved_format,
-            "mode": mode,
-            "latency_ms": round(latency_s * 1000.0, 3),
-        }
-        if presentation is not None:
-            response["rendered"] = self.lantern.render(
-                narration, tree=tree, mode=presentation
-            )
-        response["_telemetry"] = {"plan_format": resolved_format, "mode": mode}
+        with span.child("finalize"):
+            response: dict[str, Any] = {
+                "narration": _narration_to_dict(narration),
+                "format": resolved_format,
+                "mode": mode,
+                "latency_ms": round(latency_s * 1000.0, 3),
+            }
+            if presentation is not None:
+                response["rendered"] = self.lantern.render(
+                    narration, tree=tree, mode=presentation
+                )
+            response["_telemetry"] = {"plan_format": resolved_format, "mode": mode}
         return response
 
     def metrics(self) -> dict[str, Any]:
@@ -221,7 +260,34 @@ class LanternService:
         if memo_stats is not None:
             document["rule_memo"] = memo_stats
         document["memory"] = self.memory_info()
+        document["tracing"] = {
+            "enabled": self.tracer.enabled,
+            "traces_completed": self.tracer.store.completed,
+        }
         return document
+
+    def prometheus_metrics(self) -> str:
+        """The ``GET /metrics?format=prometheus`` text document."""
+        cache_stats = None
+        neural = self.lantern.neural
+        if neural is not None and hasattr(neural, "decode_cache"):
+            cache_stats = neural.decode_cache.stats()
+        return self.telemetry.prometheus(
+            decode_cache_stats=cache_stats,
+            rule_memo_stats=self.lantern.rule_memo_stats(),
+            queue_depth=self.batcher.queue_depth,
+            rss_bytes=_process_rss_bytes(),
+        )
+
+    def traces(self, limit: Optional[int] = None) -> dict[str, Any]:
+        """The ``GET /trace`` document: the N slowest recent span trees."""
+        store = self.tracer.store
+        return {
+            "enabled": self.tracer.enabled,
+            "completed": store.completed,
+            "window": store.window,
+            "slowest": store.slowest(limit),
+        }
 
     def memory_info(self) -> dict[str, Any]:
         """Process residency plus model weight footprint (LANTERN-ZERO).
@@ -278,13 +344,16 @@ class LanternService:
             self._http_thread.join(timeout=5.0)
             self._http_thread = None
         self.batcher.stop()
+        if self.trace_log is not None:
+            self.trace_log.close()
 
     def serve_forever(self) -> None:
         """Blocking convenience used by ``python -m repro.service``."""
         host, port = self.start()
         print(f"LANTERN-SERVE listening on http://{host}:{port}")
         print(f"  POST http://{host}:{port}/narrate")
-        print(f"  GET  http://{host}:{port}/metrics")
+        print(f"  GET  http://{host}:{port}/metrics   (?format=prometheus)")
+        print(f"  GET  http://{host}:{port}/trace")
         print(f"  GET  http://{host}:{port}/healthz")
         try:
             while True:
@@ -370,53 +439,112 @@ def _make_handler(service: LanternService) -> type[BaseHTTPRequestHandler]:
                     {"error": "bad_request", "message": f"invalid JSON body: {error}"},
                 ) from error
 
+        def _send_text(self, status: int, text: str, content_type: str) -> None:
+            payload = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _respond_json(self, root: Span, status: int, body: dict[str, Any]) -> None:
+            """Send a JSON response under a ``respond`` span child."""
+            respond_started = time.perf_counter()
+            with root.child("respond", status=status):
+                self._send_json(status, body)
+                service.telemetry.record_stage(
+                    "respond", time.perf_counter() - respond_started
+                )
+
         # -- endpoints ---------------------------------------------------
 
         def do_POST(self) -> None:
             path = self.path.split("?", 1)[0].rstrip("/")
             if path != "/narrate":
                 self.close_connection = True  # request body left unread
+                service.telemetry.record_request(404, 0.0, endpoint="other")
                 self._send_json(404, {"error": "not_found", "message": self.path})
                 return
             started = time.perf_counter()
             plan_format = mode = None
+            root = service.tracer.trace("POST /narrate")
+            with root:
+                try:
+                    with root.child("read_body"):
+                        body = self._read_body()
+                    response = self.narrate(body, root)
+                    telemetry_tags = response.pop("_telemetry", {})
+                    plan_format = telemetry_tags.get("plan_format")
+                    mode = telemetry_tags.get("mode")
+                    status = 200
+                    if root:
+                        response["trace_id"] = root.trace_id
+                    self._respond_json(root, status, response)
+                except _HTTPError as error:
+                    status = error.status
+                    root.tag(error=error.body.get("error", "http_error"))
+                    self._respond_json(root, status, error.body)
+                except ReproError as error:
+                    status = 400
+                    self._respond_json(
+                        root, status, {"error": "narration", "message": str(error)}
+                    )
+                except Exception as error:  # noqa: BLE001 - last-resort 500
+                    status = 500
+                    self._respond_json(
+                        root,
+                        500,
+                        {"error": "internal", "message": f"{type(error).__name__}: {error}"},
+                    )
+                root.tag(status=status)
+            service.telemetry.record_request(
+                status,
+                time.perf_counter() - started,
+                plan_format=plan_format,
+                mode=mode,
+                endpoint="/narrate",
+            )
+
+        def narrate(self, body: dict[str, Any], span: Span = NOOP_SPAN) -> dict[str, Any]:
+            return service.narrate_payload(body, span=span)
+
+        def do_GET(self) -> None:
+            started = time.perf_counter()
+            path, _, query_text = self.path.partition("?")
+            path = path.rstrip("/") or "/"
+            query = parse_qs(query_text)
+            status = 200
+            endpoint = path
             try:
-                body = self._read_body()
-                response = self.narrate(body)
-                telemetry_tags = response.pop("_telemetry", {})
-                plan_format = telemetry_tags.get("plan_format")
-                mode = telemetry_tags.get("mode")
-                status = 200
-                self._send_json(status, response)
-            except _HTTPError as error:
-                status = error.status
-                self._send_json(status, error.body)
-            except ReproError as error:
-                status = 400
-                self._send_json(status, {"error": "narration", "message": str(error)})
+                if path == "/metrics":
+                    if query.get("format", [""])[0] == "prometheus":
+                        self._send_text(
+                            200, service.prometheus_metrics(), PROMETHEUS_CONTENT_TYPE
+                        )
+                    else:
+                        self._send_json(200, service.metrics())
+                elif path == "/trace":
+                    limit = None
+                    if "limit" in query:
+                        try:
+                            limit = int(query["limit"][0])
+                        except ValueError:
+                            limit = None
+                    self._send_json(200, service.traces(limit))
+                elif path == "/healthz":
+                    self._send_json(200, service.healthz())
+                else:
+                    status = 404
+                    endpoint = "other"
+                    self._send_json(404, {"error": "not_found", "message": self.path})
             except Exception as error:  # noqa: BLE001 - last-resort 500
                 status = 500
                 self._send_json(
                     500, {"error": "internal", "message": f"{type(error).__name__}: {error}"}
                 )
             service.telemetry.record_request(
-                status,
-                time.perf_counter() - started,
-                plan_format=plan_format,
-                mode=mode,
+                status, time.perf_counter() - started, endpoint=endpoint
             )
-
-        def narrate(self, body: dict[str, Any]) -> dict[str, Any]:
-            return service.narrate_payload(body)
-
-        def do_GET(self) -> None:
-            path = self.path.split("?", 1)[0].rstrip("/") or "/"
-            if path == "/metrics":
-                self._send_json(200, service.metrics())
-            elif path == "/healthz":
-                self._send_json(200, service.healthz())
-            else:
-                self._send_json(404, {"error": "not_found", "message": self.path})
 
     return Handler
 
@@ -425,8 +553,20 @@ def build_service(
     lantern: Optional[Lantern] = None,
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
-    **batcher_knobs: Any,
+    **knobs: Any,
 ) -> LanternService:
-    """Convenience constructor used by ``__main__`` and the tests."""
-    config = ServiceConfig(host=host, port=port, batcher=BatcherConfig(**batcher_knobs))
+    """Convenience constructor used by ``__main__`` and the tests.
+
+    Keyword knobs matching a :class:`ServiceConfig` field (the tracing
+    controls) configure the service; everything else goes to
+    :class:`BatcherConfig` as before.
+    """
+    service_knobs = {
+        key: knobs.pop(key)
+        for key in ("tracing_enabled", "trace_window", "trace_keep", "trace_log", "trace_log_every")
+        if key in knobs
+    }
+    config = ServiceConfig(
+        host=host, port=port, batcher=BatcherConfig(**knobs), **service_knobs
+    )
     return LanternService(lantern=lantern, config=config)

@@ -1,0 +1,371 @@
+"""LANTERN-SCOPE core: histograms, spans, event logs, Prometheus exposition.
+
+The load-bearing contracts: histogram percentiles never return NaN and stay
+inside the observed range; span trees report durations and offsets that a
+renderer can tile into a timeline; a disabled tracer costs nothing and
+breaks nothing; the event log survives concurrent emitters; and the
+exposition renderer emits only lines ``validate_exposition`` accepts.
+"""
+
+import json
+import math
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    JsonEventLog,
+    NOOP_SPAN,
+    PrometheusWriter,
+    TraceStore,
+    Tracer,
+    format_span_tree,
+    percentile,
+    read_events,
+    validate_exposition,
+)
+from repro.service.telemetry import ServiceTelemetry
+
+
+class TestExactPercentile:
+    def test_empty_and_single(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
+
+    def test_interpolation_is_exact(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == pytest.approx(50.5)
+        assert percentile(values, 0.99) == pytest.approx(99.01)
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestHistogram:
+    def test_rejects_bad_bounds(self):
+        for bounds in ((), (1.0, 1.0), (2.0, 1.0)):
+            with pytest.raises(ValueError, match="strictly increasing"):
+                Histogram(bounds)
+
+    def test_empty_histogram_answers_zero(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.snapshot()["max"] == 0.0
+
+    def test_single_observation_is_exact(self):
+        histogram = Histogram()
+        histogram.observe(0.0123)
+        for fraction in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert histogram.percentile(fraction) == pytest.approx(0.0123)
+        assert histogram.mean == pytest.approx(0.0123)
+
+    def test_percentiles_never_nan_and_stay_in_range(self):
+        histogram = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):  # last lands in +Inf bucket
+            histogram.observe(value)
+        for fraction in (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            estimate = histogram.percentile(fraction)
+            assert not math.isnan(estimate)
+            assert 0.5 <= estimate <= 100.0
+
+    def test_overflow_bucket_clamps_to_observed_max(self):
+        histogram = Histogram((1.0,))
+        histogram.observe(50.0)
+        histogram.observe(90.0)
+        # everything is in the open-ended bucket; the upper edge must be
+        # the observed max, not infinity
+        assert histogram.percentile(0.99) <= 90.0
+        assert histogram.percentile(0.01) >= 1.0  # lower edge = last bound
+
+    def test_bucket_boundary_is_inclusive_upper(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(1.0)  # exactly on a bound: belongs to that bucket
+        assert histogram.bucket_counts == [1, 0, 0]
+        histogram.observe(1.0000001)
+        assert histogram.bucket_counts == [1, 1, 0]
+
+    def test_estimate_within_one_bucket_width(self):
+        histogram = Histogram(DEFAULT_LATENCY_BUCKETS)
+        values = [0.0002 * (i + 1) for i in range(500)]  # 0.2 ms .. 100 ms
+        for value in values:
+            histogram.observe(value)
+        for fraction in (0.5, 0.9, 0.99):
+            exact = percentile(values, fraction)
+            estimate = histogram.percentile(fraction)
+            # the containing bucket's width bounds the estimation error
+            index = 0
+            while index < len(DEFAULT_LATENCY_BUCKETS) and DEFAULT_LATENCY_BUCKETS[index] < exact:
+                index += 1
+            lower = DEFAULT_LATENCY_BUCKETS[index - 1] if index else 0.0
+            upper = DEFAULT_LATENCY_BUCKETS[min(index, len(DEFAULT_LATENCY_BUCKETS) - 1)]
+            assert abs(estimate - exact) <= (upper - lower) + 1e-12
+
+    def test_snapshot_scales_and_rounds(self):
+        histogram = Histogram()
+        histogram.observe(0.002)
+        snapshot = histogram.snapshot(scale=1000.0, digits=3)
+        assert snapshot == {
+            "count": 1, "mean": 2.0, "p50": 2.0, "p90": 2.0, "p99": 2.0, "max": 2.0,
+        }
+
+    def test_cumulative_buckets_end_at_inf_total(self):
+        histogram = Histogram((1.0, 2.0))
+        for value in (0.5, 1.5, 9.0, 9.0):
+            histogram.observe(value)
+        pairs = histogram.cumulative_buckets()
+        assert pairs == [(1.0, 1), (2.0, 2), (float("inf"), 4)]
+
+
+class TestSpansAndTracer:
+    def test_span_tree_shape(self):
+        tracer = Tracer(store=TraceStore())
+        with tracer.trace("request", endpoint="/narrate") as root:
+            with root.child("admission"):
+                pass
+            root.add_child_at("queue_wait", root.start, root.start + 0.005)
+        document = tracer.last_trace()
+        assert document["name"] == "request"
+        assert document["tags"] == {"endpoint": "/narrate"}
+        assert document["trace_id"]
+        assert [child["name"] for child in document["children"]] == [
+            "admission", "queue_wait",
+        ]
+        assert document["children"][1]["duration_ms"] == pytest.approx(5.0)
+        assert document["children"][1]["offset_ms"] == pytest.approx(0.0)
+
+    def test_thread_local_nesting(self):
+        tracer = Tracer(store=TraceStore())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.current().name == "inner"
+        document = tracer.last_trace()
+        assert document["name"] == "outer"
+        assert document["children"][0]["name"] == "inner"
+        assert tracer.current() is None
+
+    def test_exception_tags_error_class(self):
+        tracer = Tracer(store=TraceStore())
+        with pytest.raises(KeyError):
+            with tracer.trace("doomed"):
+                raise KeyError("nope")
+        assert tracer.last_trace()["tags"] == {"error": "KeyError"}
+
+    def test_disabled_tracer_hands_out_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.trace("ignored")
+        assert span is NOOP_SPAN
+        assert not span  # falsy: `if root:` guards skip reporting
+        with span.child("still-noop") as child:
+            child.tag(anything="goes")
+            child.add_child_at("x", 0.0, 1.0)
+        assert span.to_dict() == {}
+        assert tracer.last_trace() is None
+
+    def test_store_ranks_slowest(self):
+        store = TraceStore(window=8, keep=2)
+        tracer = Tracer(store=store)
+        for milliseconds in (3, 9, 1, 5):
+            root = tracer.trace("work", ms=milliseconds)
+            root.end = None
+            root.start = time.perf_counter() - milliseconds / 1000.0
+            root.finish()
+        slowest = store.slowest()
+        assert [trace["tags"]["ms"] for trace in slowest] == [9, 5]  # keep=2
+        assert [trace["tags"]["ms"] for trace in store.slowest(4)] == [9, 5, 3, 1]
+        assert store.completed == 4
+        assert len(store) == 4
+
+    def test_store_window_evicts_oldest(self):
+        store = TraceStore(window=2)
+        tracer = Tracer(store=store)
+        for index in range(3):
+            with tracer.trace("t", index=index):
+                pass
+        assert store.completed == 3
+        assert len(store) == 2
+        assert store.latest()["tags"]["index"] == 2
+
+    def test_sampled_logging_is_deterministic(self, tmp_path):
+        log = JsonEventLog(tmp_path / "traces.jsonl")
+        tracer = Tracer(store=TraceStore(), log=log, log_every=3)
+        for _ in range(9):
+            with tracer.trace("sampled"):
+                pass
+        log.close()
+        events = list(read_events(log.path))
+        assert len(events) == 3  # every 3rd of 9
+        assert all(event["event"] == "trace" for event in events)
+
+    def test_finish_listener_sees_roots_only(self):
+        tracer = Tracer(store=TraceStore())
+        seen = []
+        tracer.add_finish_listener(lambda root: seen.append(root.name))
+        with tracer.trace("root"):
+            with tracer.span("child"):
+                pass
+        assert seen == ["root"]
+
+    def test_format_span_tree_renders_all_spans(self):
+        tracer = Tracer(store=TraceStore())
+        with tracer.trace("root", mode="rule") as root:
+            with root.child("stage"):
+                pass
+        text = format_span_tree(tracer.last_trace())
+        assert "root" in text and "stage" in text and "mode=rule" in text
+        assert format_span_tree({}) == ""
+
+
+class TestJsonEventLog:
+    def test_round_trip_and_ts_stamp(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonEventLog(path) as log:
+            log.emit({"event": "epoch", "loss": 1.5})
+            log.emit({"event": "epoch", "loss": 1.2})
+        events = list(read_events(path))
+        assert [event["event"] for event in events] == ["epoch", "epoch"]
+        assert all(event["ts"] > 0 for event in events)
+        assert events[1]["loss"] == 1.2
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        log = JsonEventLog(tmp_path / "events.jsonl")
+        log.emit({"event": "one"})
+        log.close()
+        log.emit({"event": "two"})  # silently dropped, no crash
+        log.close()  # idempotent
+        assert log.emitted == 1
+        assert len(list(read_events(log.path))) == 1
+
+    def test_concurrent_emitters_never_interleave(self, tmp_path):
+        path = tmp_path / "contended.jsonl"
+        log = JsonEventLog(path)
+
+        def emit_many(worker: int) -> None:
+            for index in range(50):
+                log.emit({"event": "tick", "worker": worker, "index": index})
+
+        threads = [threading.Thread(target=emit_many, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.close()
+        events = list(read_events(path))  # json.loads raises on torn lines
+        assert len(events) == 400
+        assert log.emitted == 400
+
+    def test_non_json_values_stringify(self, tmp_path):
+        with JsonEventLog(tmp_path / "odd.jsonl") as log:
+            log.emit({"event": "odd", "path": tmp_path})
+        (event,) = read_events(log.path)
+        assert event["path"] == str(tmp_path)
+
+
+class TestPrometheusExposition:
+    def test_writer_families_render_and_validate(self):
+        writer = PrometheusWriter()
+        writer.counter(
+            "requests_total", "Finished requests.",
+            [({"endpoint": "/narrate"}, 41), ({"endpoint": "/metrics"}, 3)],
+        )
+        writer.gauge("queue_depth", "Queued requests.", [(None, 0)])
+        histogram = Histogram((0.001, 0.01))
+        histogram.observe(0.0005)
+        histogram.observe(0.5)
+        writer.histogram("latency_seconds", "Latency.", [({"stage": "decode"}, histogram)])
+        text = writer.render()
+        assert 'lantern_requests_total{endpoint="/narrate"} 41' in text
+        assert 'lantern_latency_seconds_bucket{stage="decode",le="+Inf"} 2' in text
+        assert 'lantern_latency_seconds_count{stage="decode"} 2' in text
+        assert validate_exposition(text) == 2 + 1 + (3 + 2)  # buckets + sum + count
+
+    def test_label_values_are_escaped(self):
+        writer = PrometheusWriter()
+        writer.counter("odd_total", "Odd labels.", [({"k": 'a"b\\c\nd'}, 1)])
+        text = writer.render()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert validate_exposition(text) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",  # no samples at all
+            "# COMMENT wrong form\nlantern_x 1",
+            "lantern_x{unbalanced 1",
+            "lantern_x notanumber",
+            "lantern bad name 1notfloat",
+        ],
+    )
+    def test_validator_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            validate_exposition(bad)
+
+
+class TestTelemetryContention:
+    THREADS = 8
+
+    def test_contended_recorders_lose_nothing(self):
+        """8 threads hammering every recorder: totals must balance exactly
+        and the snapshot/exposition must render mid-flight without error."""
+        telemetry = ServiceTelemetry()
+        rounds = 200
+        snapshot_errors: list[Exception] = []
+
+        def record(worker: int) -> None:
+            for index in range(rounds):
+                status = (200, 200, 429, 503, 400)[index % 5]
+                telemetry.record_request(
+                    status, 0.001 * (worker + 1),
+                    plan_format="postgres-json", mode="rule",
+                )
+                telemetry.record_request(200, 0.0001, endpoint="/healthz")
+                telemetry.record_stage("decode", 0.002)
+                telemetry.record_batch(worker + 1)
+                if status == 400:
+                    telemetry.record_batch_failure(ValueError("boom"))
+                if index % 50 == 0:
+                    try:
+                        telemetry.snapshot(queue_depth=1)
+                        validate_exposition(telemetry.prometheus())
+                    except Exception as error:  # noqa: BLE001 - recorded
+                        snapshot_errors.append(error)
+
+        threads = [
+            threading.Thread(target=record, args=(i,)) for i in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not snapshot_errors
+
+        total = self.THREADS * rounds
+        snapshot = telemetry.snapshot()
+        requests = snapshot["requests"]
+        assert requests["total"] == total * 2  # /narrate + /healthz each round
+        assert requests["by_status"]["200"] == total * 2 // 5 + total
+        assert requests["rejected_overload"] == total // 5
+        assert requests["timed_out"] == total // 5
+        assert requests["by_endpoint"]["/healthz"] == total
+        assert snapshot["latency_ms"]["count"] == total * 2 // 5  # narrate 200s only
+        assert snapshot["stages"]["decode"]["count"] == total
+        assert snapshot["batching"]["batches"] == total
+        assert snapshot["batching"]["batches_failed"] == total // 5
+        assert snapshot["batching"]["batch_errors"] == {"ValueError": total // 5}
+        assert validate_exposition(telemetry.prometheus()) > 0
+
+    def test_healthz_latency_does_not_pollute_narrate_percentiles(self):
+        telemetry = ServiceTelemetry()
+        for _ in range(10):
+            telemetry.record_request(200, 0.010)  # /narrate: 10 ms
+            telemetry.record_request(200, 9.0, endpoint="/healthz")  # slow probe
+        snapshot = telemetry.snapshot()
+        assert snapshot["latency_ms"]["p99"] < 100  # /narrate only
+        assert snapshot["latency_ms_by_endpoint"]["/healthz"]["p50"] > 1000

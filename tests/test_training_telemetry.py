@@ -1,0 +1,239 @@
+"""LANTERN-SCOPE training telemetry: hooks, per-epoch throughput, the CLI.
+
+The contracts: attaching hooks never changes what training computes; every
+epoch record carries tokens/s and the last step's gradient norm; and a
+``--telemetry`` run persists a JSONL stream a later tool can re-read —
+train_begin, per-batch, per-epoch, train_end, and the phase-timing trace.
+"""
+
+import json
+
+import pytest
+
+from repro.nlg.training import EpochRecord, TelemetryHooks, Trainer, TrainerHooks
+from repro.obs import JsonEventLog, read_events
+
+
+class _RecordingHooks(TrainerHooks):
+    def __init__(self) -> None:
+        self.calls: list[tuple] = []
+
+    def on_train_begin(self, trainer, epochs, batch_size):
+        self.calls.append(("train_begin", epochs, batch_size))
+
+    def on_epoch_begin(self, epoch):
+        self.calls.append(("epoch_begin", epoch))
+
+    def on_batch_end(self, epoch, batch_index, loss, accuracy, tokens, seconds, grad_norm):
+        self.calls.append(("batch", epoch, batch_index, tokens, grad_norm))
+
+    def on_epoch_end(self, record, early_stopping):
+        self.calls.append(("epoch_end", record, dict(early_stopping)))
+
+    def on_train_end(self, history):
+        self.calls.append(("train_end", history.epochs))
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    """A small real dataset + config, shared by the hook tests."""
+    from repro.nlg.dataset import build_dataset
+    from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
+    from repro.workloads import build_dblp_database
+    from repro.workloads.dblp import DBLP_JOIN_GRAPH
+    from repro.workloads.generator import RandomQueryGenerator
+
+    db = build_dblp_database(publication_count=200, seed=11)
+    generator = RandomQueryGenerator(db, DBLP_JOIN_GRAPH, seed=11)
+    queries = [generated.sql for generated in generator.generate(6)]
+    dataset = build_dataset([(db, queries, "postgresql", "dblp")], seed=11)
+    config = Seq2SeqConfig(hidden_dim=24, attention_dim=12, batch_size=8, seed=11)
+    return dataset, config
+
+
+def _fresh_trainer(tiny_setup) -> Trainer:
+    from repro.nlg.seq2seq import QEP2Seq
+
+    dataset, config = tiny_setup
+    model = QEP2Seq(dataset.input_vocabulary, dataset.output_vocabulary, config)
+    return Trainer(
+        model, dataset.train_samples[:32], dataset.validation_samples[:8], seed=11
+    )
+
+
+class TestTrainerHooks:
+    def test_hooks_receive_the_full_lifecycle(self, tiny_setup):
+        hooks = _RecordingHooks()
+        trainer = _fresh_trainer(tiny_setup)
+        history = trainer.train(epochs=2, early_stopping_threshold=None, hooks=hooks)
+
+        kinds = [call[0] for call in hooks.calls]
+        assert kinds[0] == "train_begin"
+        assert kinds[-1] == "train_end"
+        assert kinds.count("epoch_begin") == 2
+        assert kinds.count("epoch_end") == 2
+        batch_calls = [call for call in hooks.calls if call[0] == "batch"]
+        assert len(batch_calls) == 2 * 4  # 32 samples / batch_size 8
+        assert all(call[3] > 0 for call in batch_calls)  # tokens
+        assert all(call[4] is not None and call[4] >= 0.0 for call in batch_calls)
+
+        (_, record, early_stopping) = next(
+            call for call in hooks.calls if call[0] == "epoch_end"
+        )
+        assert isinstance(record, EpochRecord)
+        assert record.tokens > 0
+        assert record.tokens_per_second > 0
+        assert record.grad_norm is not None
+        assert early_stopping["triggered"] is False
+        assert hooks.calls[-1] == ("train_end", history.epochs)
+
+    def test_hooks_do_not_change_training(self, tiny_setup):
+        """Observation must be free: identical seeds with and without hooks
+        produce bit-identical loss curves."""
+        bare = _fresh_trainer(tiny_setup).train(epochs=2, early_stopping_threshold=None)
+        hooked = _fresh_trainer(tiny_setup).train(
+            epochs=2, early_stopping_threshold=None, hooks=_RecordingHooks()
+        )
+        assert [record.train_loss for record in bare.records] == [
+            record.train_loss for record in hooked.records
+        ]
+        assert [record.validation_loss for record in bare.records] == [
+            record.validation_loss for record in hooked.records
+        ]
+
+    def test_early_stopping_state_reaches_hooks(self, tiny_setup):
+        hooks = _RecordingHooks()
+        trainer = _fresh_trainer(tiny_setup)
+        # an impossible fluctuation threshold triggers at the first window
+        trainer.train(
+            epochs=8,
+            early_stopping_threshold=1e9,
+            early_stopping_window=2,
+            hooks=hooks,
+        )
+        epoch_ends = [call for call in hooks.calls if call[0] == "epoch_end"]
+        assert epoch_ends[-1][2]["triggered"] is True
+        assert epoch_ends[-1][2]["fluctuation"] is not None
+        assert hooks.calls[-1][0] == "train_end"  # still closed out
+
+    def test_telemetry_hooks_emit_jsonl(self, tiny_setup, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonEventLog(path) as log:
+            trainer = _fresh_trainer(tiny_setup)
+            trainer.train(
+                epochs=2,
+                early_stopping_threshold=None,
+                hooks=TelemetryHooks(log),
+            )
+        events = list(read_events(path))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "train_begin"
+        assert kinds[-1] == "train_end"
+        assert kinds.count("epoch") == 2
+        assert "batch" in kinds
+        epoch = next(event for event in events if event["event"] == "epoch")
+        assert epoch["tokens"] > 0 and epoch["tokens_per_second"] > 0
+        assert epoch["grad_norm"] is not None
+        assert "early_stopping" in epoch
+        end = events[-1]
+        assert end["epochs"] == 2 and end["stopped_early"] is False
+
+    def test_per_batch_false_keeps_only_run_events(self, tiny_setup, tmp_path):
+        path = tmp_path / "quiet.jsonl"
+        with JsonEventLog(path) as log:
+            _fresh_trainer(tiny_setup).train(
+                epochs=1,
+                early_stopping_threshold=None,
+                hooks=TelemetryHooks(log, per_batch=False),
+            )
+        kinds = [event["event"] for event in read_events(path)]
+        assert "batch" not in kinds
+        assert kinds == ["train_begin", "epoch", "train_end"]
+
+
+class TestTrainCliTelemetry:
+    def test_cli_persists_telemetry_and_phase_trace(self, tmp_path, capsys):
+        from repro.nlg.train import main
+
+        telemetry_path = tmp_path / "telemetry.jsonl"
+        main(
+            [
+                "--workload", "dblp",
+                "--queries", "3",
+                "--epochs", "2",
+                "--hidden-dim", "24",
+                "--attention-dim", "12",
+                "--telemetry", str(telemetry_path),
+                "--out", str(tmp_path / "ckpt"),
+            ]
+        )
+        events = list(read_events(telemetry_path))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "train_begin"
+        assert kinds.count("epoch") == 2
+        assert kinds[-1] == "trace"  # phase timings close the stream
+        trace = events[-1]
+        assert trace["name"] == "nlg.train"
+        child_names = [child["name"] for child in trace["children"]]
+        assert {"build_workload", "build_dataset", "train", "save"} <= set(child_names)
+        save = next(child for child in trace["children"] if child["name"] == "save")
+        assert save["children"][0]["name"] == "checkpoint.save"
+        printed = capsys.readouterr().out
+        assert "phase timings:" in printed
+        assert "nlg.train" in printed
+
+    def test_no_batch_telemetry_flag(self, tmp_path):
+        from repro.nlg.train import main
+
+        telemetry_path = tmp_path / "telemetry.jsonl"
+        main(
+            [
+                "--workload", "dblp",
+                "--queries", "3",
+                "--epochs", "1",
+                "--hidden-dim", "24",
+                "--attention-dim", "12",
+                "--telemetry", str(telemetry_path),
+                "--no-batch-telemetry",
+                "--out", str(tmp_path / "ckpt"),
+            ]
+        )
+        kinds = [event["event"] for event in read_events(telemetry_path)]
+        assert "batch" not in kinds
+        assert "epoch" in kinds and "trace" in kinds
+
+
+class TestCheckpointPhaseSpans:
+    def test_load_and_save_report_phases(self, tmp_path):
+        """checkpoint save/load publish manifest/weights/restore spans
+        through the default tracer wherever the caller's trace is rooted."""
+        import numpy as np
+
+        from repro.nlg.persistence import load_qep2seq, save_qep2seq
+        from repro.nlg.seq2seq import QEP2Seq, Seq2SeqConfig
+        from repro.nlg.vocab import Vocabulary
+        from repro.obs import default_tracer
+
+        vocabulary = Vocabulary(["join", "scan"])
+        model = QEP2Seq(vocabulary, vocabulary, Seq2SeqConfig(hidden_dim=8, attention_dim=4, seed=3))
+        tracer = default_tracer()
+
+        with tracer.trace("save_root"):
+            save_qep2seq(model, tmp_path / "ckpt")
+        save_trace = tracer.last_trace()
+        save_span = save_trace["children"][0]
+        assert save_span["name"] == "checkpoint.save"
+        assert {child["name"] for child in save_span["children"]} == {"weights", "manifest"}
+
+        with tracer.trace("load_root"):
+            restored = load_qep2seq(tmp_path / "ckpt")
+        load_trace = tracer.last_trace()
+        load_span = load_trace["children"][0]
+        assert load_span["name"] == "checkpoint.load"
+        assert [child["name"] for child in load_span["children"]] == ["manifest", "restore"]
+        for restored_parameter, original_parameter in zip(
+            restored.parameters(), model.parameters()
+        ):
+            np.testing.assert_array_equal(
+                restored_parameter.value, original_parameter.value
+            )
