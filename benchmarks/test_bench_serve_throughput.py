@@ -234,19 +234,24 @@ def test_serve_throughput(benchmark, serving_setup):
         [[key, f"{value:.2f}"] for key, value in results.items()],
     )
 
-    BENCH_JSON.write_text(
-        json.dumps(
-            {
-                "bench": "serve_throughput",
-                "core_concurrency": CORE_CONCURRENCY,
-                "http_concurrency": HTTP_CONCURRENCY,
-                "plans": PLAN_COUNT,
-                **{key: round(value, 3) for key, value in results.items()},
-            },
-            indent=2,
-        )
-        + "\n"
+    # merge-write: the fleet bench shares this artifact (``fleet_*`` keys),
+    # and alphabetical ordering runs it first — never clobber its rungs
+    document = {}
+    if BENCH_JSON.exists():
+        try:
+            document = json.loads(BENCH_JSON.read_text())
+        except (json.JSONDecodeError, OSError):
+            document = {}
+    document.update(
+        {
+            "bench": "serve_throughput",
+            "core_concurrency": CORE_CONCURRENCY,
+            "http_concurrency": HTTP_CONCURRENCY,
+            "plans": PLAN_COUNT,
+            **{key: round(value, 3) for key, value in results.items()},
+        }
     )
+    BENCH_JSON.write_text(json.dumps(document, indent=2) + "\n")
 
     # the architectural contract: coalescing concurrent requests into fused
     # decodes must beat one-at-a-time serving by at least 4x

@@ -1,0 +1,128 @@
+"""Quickstart for LANTERN-FLEET: sharded multi-process serving.
+
+Boots a 2-worker fleet in-process (rule-based narration, ephemeral ports),
+then walks the operational surface from ``docs/operations.md``: signature
+routing and shard stickiness, a mixed batch split across shards and
+rejoined in order, a worker crash with automatic respawn into the same
+shard, a draining rolling restart, the grafted router→worker traces, and
+the aggregated metrics document.
+
+Run with:  python examples/fleet_quickstart.py
+
+To serve standalone instead (router on :8600 by default):
+
+    python -m repro.service.fleet --workers 4
+    python -m repro.service.fleet --workers 4 --checkpoint ckpt/dblp
+"""
+
+import time
+
+from repro.service import LanternClient
+from repro.service.fleet import FleetConfig, LanternFleet
+from repro.workloads import build_dblp_database
+
+QUERIES = [
+    "SELECT count(*) FROM publication p WHERE p.year > 2005",
+    """
+    SELECT i.venue, count(*) AS papers
+    FROM inproceedings i, publication p
+    WHERE i.paper_key = p.pub_key AND p.year > 2005
+    GROUP BY i.venue
+    """,
+    "SELECT p.title FROM publication p ORDER BY p.year DESC LIMIT 10",
+]
+
+
+def main() -> None:
+    database = build_dblp_database()
+    plans = [database.explain(query, output_format="json") for query in QUERIES]
+
+    fleet = LanternFleet(FleetConfig(port=0, num_workers=2, heartbeat_interval_s=0.2))
+    host, port = fleet.start()
+    client = LanternClient(f"http://{host}:{port}")
+    print(f"LANTERN-FLEET router up on http://{host}:{port}")
+    for worker_id, handle in sorted(fleet.workers.items()):
+        print(f"  worker {worker_id}: http://{handle.host}:{handle.port} (pid {handle.process.pid})")
+
+    print()
+    print("=" * 72)
+    print("1. Signature routing: the same plan shape always hits the same shard")
+    print("=" * 72)
+    for plan in plans:
+        first = client.narrate(plan)
+        again = client.narrate(plan)
+        assert first["worker_id"] == again["worker_id"]
+        print(f"  {first['worker_id']}  {first['narration']['text'][:96]}...")
+
+    print()
+    print("=" * 72)
+    print("2. One batch, split per shard, rejoined in request order")
+    print("=" * 72)
+    batch = client.narrate_batch(plans + plans)
+    shards = [item["worker_id"] for item in batch["results"]]
+    print(f"  {batch['count']} plans answered by shards {shards}")
+    print(f"  per-shard counts: {batch['workers']}")
+
+    print()
+    print("=" * 72)
+    print("3. Crash a worker: requests re-route, the heartbeat respawns it")
+    print("=" * 72)
+    victim_id = shards[0]
+    victim = fleet.workers[victim_id]
+    victim.process.kill()
+    victim.process.wait(timeout=10)
+    result = client.narrate(plans[0])  # confirmed-dead: safely re-routed
+    print(f"  {victim_id} killed; request answered by {result['worker_id']}")
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        successor = fleet.workers[victim_id]
+        if successor.alive and successor.generation == 2 and victim_id in fleet.ring:
+            break
+        time.sleep(0.1)
+    print(f"  {victim_id} respawned as generation {fleet.workers[victim_id].generation}")
+    back = client.narrate(plans[0])
+    print(f"  shard ownership restored: routed to {back['worker_id']}")
+
+    print()
+    print("=" * 72)
+    print("4. Draining rolling restart (what POST /admin/restart does)")
+    print("=" * 72)
+    status, body = client.request_json("POST", "/admin/restart", {})
+    generations = {
+        worker_id: handle.generation for worker_id, handle in sorted(fleet.workers.items())
+    }
+    print(f"  HTTP {status}: restarted {body['restarted']}, generations now {generations}")
+
+    print()
+    print("=" * 72)
+    print("5. Traces cross the process boundary (router → worker span trees)")
+    print("=" * 72)
+    traced = client.narrate(plans[1])
+    for trace in client.trace(limit=16)["slowest"]:
+        if trace.get("trace_id") != traced["trace_id"]:
+            continue
+        stages = [child["name"] for child in trace.get("children", [])]
+        print(f"  router: {trace['name']} ({trace['duration_ms']} ms) stages={stages}")
+        for span in trace.get("worker_spans", []):
+            print(f"    worker {span['worker_id']}: {span['name']} ({span['duration_ms']} ms)")
+
+    print()
+    print("=" * 72)
+    print("6. Aggregated metrics: one scrape for the whole fleet")
+    print("=" * 72)
+    fleet_stats = client.metrics()["fleet"]
+    print(f"  workers alive: {fleet_stats['alive']}/{fleet_stats['workers']}")
+    print(f"  respawns: {fleet_stats['respawns']}  restarts: {fleet_stats['restarts']}")
+    for worker_id, shard in sorted(fleet_stats["per_shard"].items()):
+        print(
+            f"  {worker_id}: generation {shard['generation']}, "
+            f"routed {shard['routed']}, requests {shard.get('requests_total', 0)}"
+        )
+
+    client.close()
+    fleet.stop()
+    print("\nfleet stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,10 @@ class ServiceTimeoutError(ServiceError):
     """A narration request was admitted but not answered in time (HTTP 503)."""
 
 
+class FleetError(ServiceError):
+    """A LANTERN-FLEET operation failed (worker spawn, handshake, topology)."""
+
+
 class CheckpointError(ReproError):
     """Base class for LANTERN-PERSIST checkpoint save/load errors."""
 

@@ -280,11 +280,20 @@ class Tracer:
 
     # -- span creation -----------------------------------------------------
 
-    def trace(self, name: str, **tags: Any):
-        """Start a new root span (ignores any active span on this thread)."""
+    def trace(self, name: str, trace_id: Optional[str] = None, **tags: Any):
+        """Start a new root span (ignores any active span on this thread).
+
+        ``trace_id`` adopts an id minted elsewhere instead of allocating one —
+        the LANTERN-FLEET workers do this with the router-supplied
+        ``X-Lantern-Trace-Id`` header, so a request keeps one id across the
+        process boundary and the router can graft worker span trees onto its
+        own when serving ``GET /trace``.
+        """
         if not self.enabled:
             return NOOP_SPAN
-        return Span(name, tracer=self, trace_id=self._next_id(), tags=tags or None)
+        return Span(
+            name, tracer=self, trace_id=trace_id or self._next_id(), tags=tags or None
+        )
 
     def span(self, name: str, **tags: Any):
         """A child of this thread's active span, or a fresh root when idle."""

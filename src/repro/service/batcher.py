@@ -33,7 +33,7 @@ import queue
 import threading
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 from repro.core.lantern import MODE_RULE, Lantern
 from repro.core.narration import Narration
@@ -153,6 +153,15 @@ class MicroBatcher:
     def queue_depth(self) -> int:
         return self._queue.qsize()
 
+    @property
+    def draining(self) -> bool:
+        """True while :meth:`stop` has been requested but the worker is still
+        finishing queued narrations.  The serving layer reports this window as
+        ``"draining"`` (HTTP 503) from ``GET /healthz`` so a fleet router can
+        take the process out of rotation *before* it stops answering."""
+        worker = self._worker
+        return self._stopping.is_set() and worker is not None and worker.is_alive()
+
     # ------------------------------------------------------------------
     # submission (handler-thread side)
     # ------------------------------------------------------------------
@@ -220,6 +229,77 @@ class MicroBatcher:
             raise request.error
         assert request.narration is not None
         return request.narration
+
+    def submit_many(
+        self,
+        trees: Sequence[OperatorTree],
+        modes: Sequence[str],
+        timeout_s: Optional[float] = None,
+        span: Optional[Span] = None,
+    ) -> list[Union[Narration, Exception]]:
+        """Enqueue several narrations at once and wait for all of them.
+
+        The batch-wire form of :meth:`submit`: all requests enter the queue
+        back to back, so an idle worker drains them into **one fused
+        decode** (up to ``max_batch_size``).  Per-request failures —
+        admission refusals once the queue fills mid-batch, narration
+        errors, timeouts — are returned *in place* as exceptions rather
+        than aborting the call, mirroring ``describe_plans(collect_errors=
+        True)`` so the serving layer can answer each batch item
+        individually.  One shared deadline covers the whole batch.
+        """
+        submitted_at = time.perf_counter()
+        request_span = span if span is not None else NOOP_SPAN
+        results: list[Union[Narration, Exception]] = []
+        pending: list[tuple[int, _PendingRequest]] = []
+        worker = self._worker
+        if self._stopping.is_set():
+            error: Exception = ServiceTimeoutError("the narration service is shutting down")
+            return [error] * len(trees)
+        if worker is None or not worker.is_alive():
+            error = ServiceTimeoutError("the narration worker is not running")
+            return [error] * len(trees)
+        for tree, mode in zip(trees, modes):
+            request = _PendingRequest(tree, mode, request_span)
+            request.enqueued_at = submitted_at
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                results.append(
+                    ServiceOverloadError(
+                        f"narration queue is full ({self.config.max_queue_depth} waiting); retry later"
+                    )
+                )
+                continue
+            pending.append((len(results), request))
+            results.append(None)  # type: ignore[arg-type] - filled below
+        # same post-enqueue liveness re-check as submit(): a worker dying (or
+        # stop() starting) during the puts would otherwise strand the batch
+        worker = self._worker
+        if self._stopping.is_set() or worker is None or not worker.is_alive():
+            for _, request in pending:
+                if not request.event.is_set():
+                    request.error = ServiceTimeoutError(
+                        "the narration worker exited before the request could be handled"
+                    )
+                    request.event.set()
+        timeout = timeout_s if timeout_s is not None else self.config.request_timeout_s
+        deadline = time.monotonic() + timeout
+        for position, request in pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not request.event.wait(remaining):
+                results[position] = ServiceTimeoutError(
+                    f"narration not produced within {timeout:.1f}s"
+                )
+                continue
+            results[position] = (
+                request.error if request.error is not None else request.narration
+            )
+        if request_span and pending:
+            last = pending[-1][1]
+            if last.answered_at is not None:
+                request_span.add_child_at("wake", last.answered_at, time.perf_counter())
+        return results
 
     # ------------------------------------------------------------------
     # worker side

@@ -41,6 +41,10 @@ class LanternServiceError(ServiceError):
         self.body = body
 
 
+def _trace_headers(trace_id: Optional[str]) -> Optional[dict[str, str]]:
+    return {"X-Lantern-Trace-Id": trace_id} if trace_id else None
+
+
 class LanternClient:
     """Blocking JSON-over-HTTP client for one LANTERN-SERVE endpoint."""
 
@@ -76,8 +80,14 @@ class LanternClient:
         plan_format: Optional[str] = None,
         mode: Optional[str] = None,
         presentation: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> dict[str, Any]:
-        """POST ``/narrate``; ``plan`` may be serialized text or JSON objects."""
+        """POST ``/narrate``; ``plan`` may be serialized text or JSON objects.
+
+        ``trace_id`` is sent as ``X-Lantern-Trace-Id`` so the server adopts
+        the caller's trace instead of minting its own (the fleet router uses
+        this to stitch router→worker span trees).
+        """
         body: dict[str, Any] = {"plan": plan}
         if plan_format is not None:
             body["format"] = plan_format
@@ -85,7 +95,30 @@ class LanternClient:
             body["mode"] = mode
         if presentation is not None:
             body["presentation"] = presentation
-        return self._request("POST", "/narrate", body)
+        return self._request("POST", "/narrate", body, headers=_trace_headers(trace_id))
+
+    def narrate_batch(
+        self,
+        plans: list[Any],
+        plan_format: Optional[str] = None,
+        mode: Optional[str] = None,
+        presentation: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> dict[str, Any]:
+        """POST ``/narrate`` with a ``plans`` list (batch wire format).
+
+        Returns the batch envelope ``{"results": [...], "count": N}``; each
+        result is either a narration object or a per-item error object with
+        its own ``status`` field — the envelope itself is always 200.
+        """
+        body: dict[str, Any] = {"plans": plans}
+        if plan_format is not None:
+            body["format"] = plan_format
+        if mode is not None:
+            body["mode"] = mode
+        if presentation is not None:
+            body["presentation"] = presentation
+        return self._request("POST", "/narrate", body, headers=_trace_headers(trace_id))
 
     def metrics(self) -> dict[str, Any]:
         return self._request("GET", "/metrics")
@@ -101,6 +134,26 @@ class LanternClient:
 
     def healthz(self) -> dict[str, Any]:
         return self._request("GET", "/healthz")
+
+    def request_json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict[str, Any]] = None,
+        headers: Optional[dict[str, str]] = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """One request returning ``(status, decoded_body)`` without raising
+        on non-2xx — the fleet router relays worker error responses verbatim
+        and must not translate a worker's 429/503 into a client exception.
+        Transport failures (connection refused, reset) still raise
+        :class:`~repro.errors.ServiceError` so callers can tell a dead
+        worker from an unhappy one.
+        """
+        try:
+            decoded = self._request(method, path, body, headers=headers)
+        except LanternServiceError as error:
+            return error.status, error.body
+        return 200, decoded
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -155,10 +208,13 @@ class LanternClient:
         path: str,
         body: Optional[dict[str, Any]] = None,
         raw: bool = False,
+        headers: Optional[dict[str, str]] = None,
     ) -> Any:
         """One request; decodes JSON unless ``raw`` (returns the text)."""
         data = json.dumps(body).encode("utf-8") if body is not None else None
-        headers = {"Content-Type": "application/json"} if data else {}
+        headers = dict(headers) if headers else {}
+        if data:
+            headers.setdefault("Content-Type", "application/json")
         if not self.keep_alive:
             headers["Connection"] = "close"
         full_path = self._path_prefix + path

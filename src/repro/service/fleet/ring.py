@@ -1,0 +1,149 @@
+"""Consistent-hash routing for LANTERN-FLEET.
+
+The router shards ``/narrate`` traffic across worker processes by the
+**tag-abstracted plan signature** — the same closed-vocabulary structural
+abstraction NEURAL-LANTERN's acts use (operator name + arity + ``<I>``,
+``<C>``, ``<F>``, ``<G>``, ``<A>``, ``limit`` presence tags; see
+:meth:`repro.core.acts.Act.input_tokens`).  Two properties follow:
+
+* **Serialization independence** — the same logical plan shipped as
+  PostgreSQL EXPLAIN JSON, SQL Server showplan XML, or a wire
+  ``OperatorTree.to_dict()`` hashes to the same signature, because the
+  signature is computed *after* registry ingestion on the normalized tree.
+* **Cache affinity** — the decode cache and the rule memo are keyed on
+  exactly this abstraction, so a shard's repeated plan *shapes* always land
+  on the worker already holding their cached narrations.  Relation names
+  are deliberately excluded: plans over different tables with the same
+  shape share cache entries, so they should share a worker too.
+
+The ring itself is the classic construction: each worker is hashed onto the
+ring at ``replicas`` virtual points (sha1 of ``"{node}#{i}"``), and a key
+routes to the first virtual point clockwise from its own hash.  Adding or
+removing one worker therefore moves only ~1/N of the keyspace — warm decode
+caches on the surviving workers stay warm.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+from repro.plans.operator_tree import OperatorTree
+from repro.pool.poem import normalize_operator_name
+
+__all__ = ["ConsistentHashRing", "plan_routing_signature", "DEFAULT_REPLICAS"]
+
+#: virtual nodes per worker — enough that a 2..8-worker ring splits the
+#: keyspace within a few percent of evenly
+DEFAULT_REPLICAS = 64
+
+
+def plan_routing_signature(tree: OperatorTree) -> str:
+    """The routing key of a plan: its tag-abstracted structure, post-order.
+
+    One token group per operator — normalized name, child count, and the
+    structural presence tags of the act abstraction — joined in post-order
+    (the narration order).  No relation names, no predicate text, no
+    cardinalities: the signature is exactly as abstract as the decode-cache
+    key, which is what makes consistent-hash routing on it cache-optimal.
+    """
+    parts: list[str] = []
+    for node in tree.post_order():
+        tokens = [normalize_operator_name(node.name), str(len(node.children))]
+        if node.index_condition:
+            tokens.append("<I>")
+        if node.join_condition:
+            tokens.append("<C>")
+        if node.filter_condition:
+            tokens.append("<F>")
+        if node.group_keys:
+            tokens.append("<G>")
+        if node.sort_keys:
+            tokens.append("<A>")
+        if node.attributes.get("limit") is not None:
+            tokens.append("limit")
+        parts.append(" ".join(tokens))
+    return " | ".join(parts)
+
+
+def _hash(key: str) -> int:
+    """A stable 64-bit ring position (sha1 prefix; not security-sensitive)."""
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps routing keys to node ids with minimal movement under churn.
+
+    Not thread-safe by itself — the fleet router serializes topology changes
+    behind its own lock and treats lookups against a momentarily-stale ring
+    as acceptable (the route is re-checked against liveness anyway).
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: list[int] = []          # sorted virtual-point hashes
+        self._point_nodes: list[str] = []     # node id at the same index
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- topology ----------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Add ``node`` at its ``replicas`` virtual points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.replicas):
+            point = _hash(f"{node}#{i}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._point_nodes.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        """Remove ``node``'s virtual points (idempotent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._point_nodes)
+            if owner != node
+        ]
+        self._points = [point for point, _ in keep]
+        self._point_nodes = [owner for _, owner in keep]
+
+    @property
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # -- lookup ------------------------------------------------------------
+
+    def route(self, key: str) -> Optional[str]:
+        """The node owning ``key`` (first virtual point clockwise), or None
+        when the ring is empty."""
+        if not self._points:
+            return None
+        index = bisect.bisect(self._points, _hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._point_nodes[index]
+
+    def distribution(self, keys: Iterable[str]) -> dict[str, int]:
+        """How many of ``keys`` each node owns — used by tests and the
+        router's ``/metrics`` shard report."""
+        counts: dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            node = self.route(key)
+            if node is not None:
+                counts[node] += 1
+        return counts

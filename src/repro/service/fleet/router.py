@@ -1,0 +1,1002 @@
+"""The LANTERN-FLEET router: one front door, N warm worker processes.
+
+The router owns the fleet topology: it spawns every worker as a
+``python -m repro.service.fleet.worker`` subprocess (all warm-booting the
+*same* mmap checkpoint, so model pages are shared through the page cache),
+waits for each worker's stdout ready-line handshake, and routes every
+``POST /narrate`` by consistent-hashing the request's tag-abstracted plan
+signature (:func:`repro.service.fleet.ring.plan_routing_signature`) onto the
+ring.  A plan shape therefore always lands on the worker whose decode cache
+and rule memo already hold it.
+
+Batch-wire requests (``{"plans": [...]}``) with mixed signatures are split
+per shard, forwarded concurrently, and the per-item results rejoined in the
+original order — the client sees one envelope regardless of how many
+workers answered it.
+
+Lifecycle machinery:
+
+* a **heartbeat** thread polls worker liveness and health, takes draining
+  or dead workers out of the ring, respawns dead ones (same worker id →
+  same shard) and warms them from the last pulled cache snapshot;
+* ``POST /admin/restart`` performs **draining rolling restarts**: ring
+  removal → ``/admin/drain`` → cache export → successor spawn → cache
+  import → ring re-add → old process termination, one worker at a time, so
+  a fleet upgrade never drops a request or a warm cache;
+* requests caught on a dying worker are failed fast through the existing
+  ``ServiceTimeoutError`` 503 path, with one safe re-route when the worker
+  process is *confirmed dead* (the request cannot have been half-served by
+  a process that no longer exists... it may have been, but narration is
+  idempotent, so the replay is harmless).
+
+Observability crosses the process boundary: the router stamps its trace id
+into ``X-Lantern-Trace-Id`` on every forward, workers adopt it, and
+``GET /trace`` on the router grafts each worker's span tree under the
+matching router trace — one id, one tree, two processes.  ``GET /metrics``
+aggregates every worker's document plus per-shard routing counts and cache
+hit rates next to the router's own telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs
+
+from repro.errors import FleetError, PlanDetectionError, PlanFormatError, ServiceError
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import PrometheusWriter
+from repro.obs.tracing import NOOP_SPAN, Span, TraceStore, Tracer
+from repro.plans.registry import default_registry
+from repro.service.client import LanternClient
+from repro.service.fleet.ring import (
+    DEFAULT_REPLICAS,
+    ConsistentHashRing,
+    plan_routing_signature,
+)
+from repro.service.fleet.worker import READY_PREFIX
+from repro.service.server import DEFAULT_HOST, MAX_BODY_BYTES, _HTTPError
+from repro.service.telemetry import ServiceTelemetry
+
+__all__ = ["FleetConfig", "WorkerHandle", "LanternFleet", "DEFAULT_ROUTER_PORT"]
+
+DEFAULT_ROUTER_PORT = 8600
+
+
+@dataclass
+class FleetConfig:
+    """Everything a fleet can be tuned with."""
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_ROUTER_PORT
+    #: worker processes to spawn (shard count); worker ids are ``w0..wN-1``
+    num_workers: int = 2
+    #: LANTERN-PERSIST checkpoint every worker warm-boots from (mmap-shared)
+    checkpoint: Optional[str] = None
+    #: compiled narration cache every worker mounts (the fleet-wide tier)
+    compiled_cache: Optional[str] = None
+    #: virtual nodes per worker on the hash ring
+    replicas: int = DEFAULT_REPLICAS
+    #: per-worker batcher knobs (forwarded to the worker CLI)
+    max_batch_size: int = 32
+    batch_window_ms: float = 0.0
+    max_queue_depth: int = 256
+    worker_tracing: bool = True
+    #: seconds to wait for a spawned worker's ready line before killing it
+    spawn_timeout_s: float = 120.0
+    #: per-forward HTTP timeout toward a worker
+    request_timeout_s: float = 60.0
+    #: heartbeat period (liveness + health + periodic cache snapshots)
+    heartbeat_interval_s: float = 0.5
+    #: pull each worker's decode-cache snapshot every Nth heartbeat (the
+    #: crash-respawn warmup source); 0 disables snapshot pulls
+    snapshot_every: int = 10
+    #: router-side LANTERN-SCOPE knobs
+    tracing_enabled: bool = True
+    trace_window: int = 256
+    trace_keep: int = 16
+
+
+class WorkerHandle:
+    """One spawned worker: process, address, client, and fleet bookkeeping."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        process: subprocess.Popen,
+        host: str,
+        port: int,
+        client: LanternClient,
+        generation: int = 1,
+    ) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.host = host
+        self.port = port
+        self.client = client
+        self.generation = generation
+        #: the last decode-cache snapshot the heartbeat pulled — what a
+        #: crash-respawned successor is warmed from (a draining restart
+        #: exports a fresh one instead)
+        self.last_snapshot: Optional[dict[str, Any]] = None
+        #: set when a restart has taken this handle out of service for good;
+        #: the heartbeat must neither re-add nor respawn it
+        self.retired = False
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "alive": self.alive,
+            "pid": self.process.pid,
+            "port": self.port,
+            "generation": self.generation,
+        }
+
+    def terminate(self, timeout_s: float = 10.0) -> None:
+        self.retired = True
+        self.client.close()
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=5.0)
+
+
+def _drain_stream(stream: Any) -> None:
+    """Consume a worker's remaining stdout so the pipe never backpressures."""
+    try:
+        for _ in stream:
+            pass
+    except (ValueError, OSError):
+        pass
+
+
+def _process_dead(process: subprocess.Popen) -> bool:
+    """Whether a worker process is confirmed dead — the only state in which
+    replaying its request is safe.
+
+    A forward that failed because the worker was *killed* can race the
+    kernel actually reaping it: the connection resets the instant the
+    socket closes, a beat before ``poll()`` turns non-None.  A short grace
+    wait (error path only) makes the confirmed-dead re-route deterministic
+    instead of timing-dependent.
+    """
+    if process.poll() is not None:
+        return True
+    try:
+        process.wait(timeout=0.25)
+    except subprocess.TimeoutExpired:
+        return False
+    return True
+
+
+class LanternFleet:
+    """Router + worker lifecycle + aggregation: the whole fleet, one object."""
+
+    def __init__(self, config: Optional[FleetConfig] = None) -> None:
+        self.config = config or FleetConfig()
+        if self.config.num_workers < 1:
+            raise FleetError("a fleet needs at least one worker")
+        self.registry = default_registry()
+        self.telemetry = ServiceTelemetry()
+        self.tracer = Tracer(
+            enabled=self.config.tracing_enabled,
+            store=TraceStore(window=self.config.trace_window, keep=self.config.trace_keep),
+        )
+        self.ring = ConsistentHashRing(replicas=self.config.replicas)
+        self.workers: dict[str, WorkerHandle] = {}
+        self._started = False
+        #: guards topology (ring + workers dict) reads/writes
+        self._lock = threading.RLock()
+        #: serializes spawn/restart/respawn sequences (slow; never held with
+        #: the topology lock for the whole sequence)
+        self._lifecycle_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, 2 * self.config.num_workers),
+            thread_name_prefix="fleet-fanout",
+        )
+        self._routed: Counter[str] = Counter()
+        self._respawns = 0
+        self._restarts = 0
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _worker_command(self, worker_id: str) -> list[str]:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.service.fleet.worker",
+            "--worker-id",
+            worker_id,
+            "--host",
+            DEFAULT_HOST,
+            "--port",
+            "0",
+            "--max-batch-size",
+            str(self.config.max_batch_size),
+            "--batch-window-ms",
+            str(self.config.batch_window_ms),
+            "--max-queue-depth",
+            str(self.config.max_queue_depth),
+        ]
+        if self.config.checkpoint:
+            command += ["--checkpoint", str(self.config.checkpoint)]
+        if self.config.compiled_cache:
+            command += ["--compiled-cache", str(self.config.compiled_cache)]
+        if not self.config.worker_tracing:
+            command.append("--no-tracing")
+        return command
+
+    def _spawn_process(self, worker_id: str, generation: int) -> WorkerHandle:
+        """Spawn one worker and complete the ready-line handshake."""
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src_root
+        )
+        process = subprocess.Popen(
+            self._worker_command(worker_id),
+            stdout=subprocess.PIPE,
+            stderr=None,  # worker stderr lands on the router's, for operators
+            text=True,
+            env=env,
+        )
+        # a worker that hangs before its ready line is killed by the
+        # watchdog, which turns the blocking readline below into EOF
+        watchdog = threading.Timer(self.config.spawn_timeout_s, process.kill)
+        watchdog.daemon = True
+        watchdog.start()
+        ready: Optional[dict[str, Any]] = None
+        try:
+            assert process.stdout is not None
+            for line in process.stdout:
+                if line.startswith(READY_PREFIX):
+                    ready = json.loads(line[len(READY_PREFIX):])
+                    break
+        finally:
+            watchdog.cancel()
+        if ready is None:
+            returncode = process.poll()
+            process.kill()
+            raise FleetError(
+                f"worker {worker_id} exited before its ready line "
+                f"(returncode={returncode})"
+            )
+        drain = threading.Thread(
+            target=_drain_stream, args=(process.stdout,), daemon=True,
+            name=f"fleet-stdout-{worker_id}",
+        )
+        drain.start()
+        client = LanternClient(
+            f"http://{ready['host']}:{ready['port']}",
+            timeout_s=self.config.request_timeout_s,
+        )
+        return WorkerHandle(
+            worker_id, process, ready["host"], ready["port"], client,
+            generation=generation,
+        )
+
+    def _spawn_worker(
+        self,
+        worker_id: str,
+        snapshot: Optional[dict[str, Any]] = None,
+        generation: int = 1,
+    ) -> WorkerHandle:
+        """Spawn, optionally warm from ``snapshot``, and enter the ring."""
+        handle = self._spawn_process(worker_id, generation)
+        if snapshot and snapshot.get("entries"):
+            try:
+                handle.client.request_json("POST", "/admin/cache", snapshot)
+                handle.last_snapshot = snapshot
+            except ServiceError:
+                pass  # a cold successor is degraded, not broken
+        with self._lock:
+            self.workers[worker_id] = handle
+            self.ring.add(worker_id)
+        return handle
+
+    def _retire_from_ring(self, worker_id: str) -> None:
+        with self._lock:
+            self.ring.remove(worker_id)
+
+    def restart_workers(self, worker_ids: Optional[list[str]] = None) -> dict[str, Any]:
+        """Draining rolling restart (the ``POST /admin/restart`` handler).
+
+        One worker at a time: out of the ring → drain → cache export →
+        successor spawn (same worker id, so the shard is unchanged) → cache
+        import → back in the ring → old process terminated.  In-flight
+        narrations finish on the old process; new ones never see it.
+        """
+        with self._lock:
+            known = sorted(self.workers)
+        targets = list(worker_ids) if worker_ids else known
+        unknown = [wid for wid in targets if wid not in known]
+        if unknown:
+            raise _HTTPError(
+                400,
+                {"error": "bad_request", "message": f"unknown workers: {unknown}"},
+            )
+        restarted: list[str] = []
+        with self._lifecycle_lock:
+            for worker_id in targets:
+                self._restart_one(worker_id)
+                restarted.append(worker_id)
+                self._restarts += 1
+        return {"restarted": restarted}
+
+    def _restart_one(self, worker_id: str) -> None:
+        with self._lock:
+            old = self.workers.get(worker_id)
+            self.ring.remove(worker_id)
+        snapshot: Optional[dict[str, Any]] = None
+        generation = 1
+        if old is not None:
+            generation = old.generation + 1
+            old.retired = True  # heartbeat: hands off, a restart owns this one
+            if old.alive:
+                try:
+                    old.client.request_json("POST", "/admin/drain", {})
+                    status, payload = old.client.request_json("GET", "/admin/cache")
+                    if status == 200:
+                        snapshot = payload
+                except ServiceError:
+                    snapshot = old.last_snapshot
+            else:
+                snapshot = old.last_snapshot
+        self._spawn_worker(worker_id, snapshot=snapshot, generation=generation)
+        if old is not None:
+            old.terminate()
+
+    def _respawn_dead(self, worker_id: str, dead: WorkerHandle) -> None:
+        """Heartbeat path: replace a crashed worker, warmed from the last
+        pulled snapshot (the crash took the live cache with it)."""
+        with self._lifecycle_lock:
+            with self._lock:
+                current = self.workers.get(worker_id)
+            if current is not dead or dead.retired:
+                return  # someone else already replaced it
+            dead.retired = True
+            dead.client.close()
+            try:
+                self._spawn_worker(
+                    worker_id,
+                    snapshot=dead.last_snapshot,
+                    generation=dead.generation + 1,
+                )
+            except FleetError:
+                return  # next heartbeat tick tries again
+            self._respawns += 1
+
+    # ------------------------------------------------------------------
+    # heartbeat
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        tick = 0
+        while not self._stop.wait(self.config.heartbeat_interval_s):
+            tick += 1
+            pull_snapshots = (
+                self.config.snapshot_every > 0 and tick % self.config.snapshot_every == 0
+            )
+            with self._lock:
+                handles = list(self.workers.items())
+            for worker_id, handle in handles:
+                if handle.retired:
+                    continue
+                if not handle.alive:
+                    self._retire_from_ring(worker_id)
+                    self._respawn_dead(worker_id, handle)
+                    continue
+                try:
+                    status, health = handle.client.request_json("GET", "/healthz")
+                except ServiceError:
+                    # unreachable but process alive: transient — leave the
+                    # ring as-is, forwards fail fast and re-check liveness
+                    continue
+                healthy = status == 200 and health.get("status") == "ok"
+                with self._lock:
+                    if self.workers.get(worker_id) is not handle or handle.retired:
+                        continue
+                    if healthy:
+                        self.ring.add(worker_id)
+                    else:
+                        self.ring.remove(worker_id)
+                if healthy and pull_snapshots:
+                    try:
+                        status, payload = handle.client.request_json("GET", "/admin/cache")
+                        if status == 200 and payload.get("entries"):
+                            handle.last_snapshot = payload
+                    except ServiceError:
+                        pass
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def signature_of(self, plan: Any, plan_format: Optional[str] = None) -> str:
+        """Ingest a wire plan and return its routing signature (400 on bad)."""
+        try:
+            tree = self.registry.parse(plan, plan_format)
+        except PlanDetectionError as error:
+            raise _HTTPError(
+                400,
+                {
+                    "error": "plan_format",
+                    "message": str(error),
+                    "attempted_formats": error.attempted_formats,
+                },
+            ) from error
+        except PlanFormatError as error:
+            raise _HTTPError(400, {"error": "plan_format", "message": str(error)}) from error
+        return plan_routing_signature(tree)
+
+    def _forward(
+        self,
+        signature: str,
+        body: dict[str, Any],
+        span: Span = NOOP_SPAN,
+    ) -> tuple[int, dict[str, Any], Optional[str]]:
+        """Route by signature and POST to the owning worker.
+
+        One re-route is attempted when the owning worker's *process is
+        dead* — the only case where replaying the request is safe and the
+        ring is known stale.  Any other failure fails fast through the
+        ServiceTimeoutError-shaped 503.
+        """
+        for attempt in range(2):
+            with self._lock:
+                worker_id = self.ring.route(signature)
+                handle = self.workers.get(worker_id) if worker_id else None
+            if handle is None:
+                return 503, {"error": "timeout", "message": "no live workers in the fleet"}, None
+            headers = {"X-Lantern-Trace-Id": span.trace_id} if span else None
+            try:
+                with span.child("forward", worker=worker_id, attempt=attempt):
+                    status, payload = handle.client.request_json(
+                        "POST", "/narrate", body, headers=headers
+                    )
+            except ServiceError as error:
+                if _process_dead(handle.process) and attempt == 0:
+                    # confirmed dead: take it out and re-route once; the
+                    # heartbeat respawns it into the same shard shortly
+                    self._retire_from_ring(worker_id)
+                    span.tag(rerouted_from=worker_id)
+                    continue
+                return (
+                    503,
+                    {
+                        "error": "timeout",
+                        "message": f"worker {worker_id} did not answer: {error}",
+                    },
+                    worker_id,
+                )
+            self._routed[worker_id] += body_item_count(body)
+            return status, payload, worker_id
+        return 503, {"error": "timeout", "message": "no live workers in the fleet"}, None
+
+    def narrate_payload(
+        self, body: dict[str, Any], span: Span = NOOP_SPAN
+    ) -> tuple[int, dict[str, Any]]:
+        """Route one single-plan ``/narrate`` body; returns (status, body)."""
+        if not isinstance(body, dict):
+            raise _HTTPError(
+                400, {"error": "bad_request", "message": "request body must be a JSON object"}
+            )
+        if "plan" not in body:
+            raise _HTTPError(
+                400, {"error": "bad_request", "message": "request body needs a 'plan' key"}
+            )
+        with span.child("route"):
+            signature = self.signature_of(body["plan"], body.get("format"))
+        status, payload, worker_id = self._forward(signature, body, span)
+        if worker_id is not None and isinstance(payload, dict):
+            payload.setdefault("worker_id", worker_id)
+        return status, payload
+
+    def narrate_batch_payload(
+        self, body: dict[str, Any], span: Span = NOOP_SPAN
+    ) -> tuple[int, dict[str, Any]]:
+        """Split a batch-wire body per shard, forward concurrently, rejoin.
+
+        Response items come back in request order regardless of the shard
+        split; per-item failures (bad plan, overload on one shard) stay
+        per-item exactly as a single worker would report them.
+        """
+        plans = body.get("plans")
+        if not isinstance(plans, list) or not plans:
+            raise _HTTPError(
+                400, {"error": "bad_request", "message": "'plans' must be a non-empty list"}
+            )
+        shared = {
+            key: body[key] for key in ("mode", "format", "presentation") if key in body
+        }
+        results: list[Optional[dict[str, Any]]] = [None] * len(plans)
+        pending: list[tuple[int, str]] = []
+        with span.child("route", batch=len(plans)):
+            for index, plan in enumerate(plans):
+                try:
+                    pending.append((index, self.signature_of(plan, body.get("format"))))
+                except _HTTPError as error:
+                    results[index] = {**error.body, "status": error.status}
+        workers_used: Counter[str] = Counter()
+        for round_ in range(2):
+            if not pending:
+                break
+            groups: dict[Optional[str], list[tuple[int, str]]] = {}
+            with self._lock:
+                for index, signature in pending:
+                    groups.setdefault(self.ring.route(signature), []).append(
+                        (index, signature)
+                    )
+            unrouted = groups.pop(None, [])
+            for index, _ in unrouted:
+                results[index] = {
+                    "error": "timeout",
+                    "message": "no live workers in the fleet",
+                    "status": 503,
+                }
+            futures = {}
+            for worker_id, members in groups.items():
+                sub_body = {**shared, "plans": [plans[index] for index, _ in members]}
+                futures[worker_id] = (
+                    members,
+                    self._executor.submit(
+                        self._forward_shard, worker_id, sub_body, span
+                    ),
+                )
+            pending = []
+            for worker_id, (members, future) in futures.items():
+                outcome = future.result()
+                if outcome is None:  # confirmed-dead worker: re-route once
+                    if round_ == 0:
+                        pending.extend(members)
+                    else:
+                        for index, _ in members:
+                            results[index] = {
+                                "error": "timeout",
+                                "message": f"worker {worker_id} did not answer",
+                                "status": 503,
+                            }
+                    continue
+                status, payload = outcome
+                if status == 200 and isinstance(payload.get("results"), list):
+                    workers_used[worker_id] += len(members)
+                    self._routed[worker_id] += len(members)
+                    for (index, _), item in zip(members, payload["results"]):
+                        if isinstance(item, dict) and "error" not in item:
+                            item.setdefault("worker_id", worker_id)
+                        results[index] = item
+                else:  # whole-shard refusal (draining, overload): per-item copy
+                    for index, _ in members:
+                        results[index] = {**payload, "status": status}
+        return 200, {
+            "results": results,
+            "count": len(plans),
+            "workers": dict(sorted(workers_used.items())),
+        }
+
+    def _forward_shard(
+        self, worker_id: str, sub_body: dict[str, Any], span: Span
+    ) -> Optional[tuple[int, dict[str, Any]]]:
+        """POST one shard's sub-batch; ``None`` means confirmed-dead worker
+        (the caller re-routes those items)."""
+        with self._lock:
+            handle = self.workers.get(worker_id)
+        if handle is None:
+            return None
+        headers = {"X-Lantern-Trace-Id": span.trace_id} if span else None
+        try:
+            with span.child(
+                "forward", worker=worker_id, batch=len(sub_body["plans"])
+            ):
+                return handle.client.request_json(
+                    "POST", "/narrate", sub_body, headers=headers
+                )
+        except ServiceError as error:
+            if _process_dead(handle.process):
+                self._retire_from_ring(worker_id)
+                return None
+            return 503, {
+                "error": "timeout",
+                "message": f"worker {worker_id} did not answer: {error}",
+            }
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        with self._lock:
+            in_ring = self.ring.nodes
+            workers = {
+                worker_id: {**handle.describe(), "in_ring": worker_id in in_ring}
+                for worker_id, handle in sorted(self.workers.items())
+            }
+        routable = sum(1 for doc in workers.values() if doc["in_ring"] and doc["alive"])
+        return {
+            "status": "ok" if routable > 0 else "degraded",
+            "role": "router",
+            "workers": workers,
+            "routable_workers": routable,
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        """The aggregated ``GET /metrics`` document: router + every worker."""
+        document: dict[str, Any] = {"router": self.telemetry.snapshot()}
+        with self._lock:
+            handles = sorted(self.workers.items())
+            in_ring = self.ring.nodes
+        worker_docs: dict[str, Any] = {}
+        per_shard: dict[str, Any] = {}
+        alive = 0
+        for worker_id, handle in handles:
+            if not handle.alive:
+                per_shard[worker_id] = {"alive": False, "routed": self._routed[worker_id]}
+                continue
+            alive += 1
+            try:
+                status, payload = handle.client.request_json("GET", "/metrics")
+            except ServiceError:
+                per_shard[worker_id] = {"alive": True, "routed": self._routed[worker_id]}
+                continue
+            if status == 200:
+                worker_docs[worker_id] = payload
+            shard: dict[str, Any] = {
+                "alive": True,
+                "in_ring": worker_id in in_ring,
+                "generation": handle.generation,
+                "routed": self._routed[worker_id],
+                "requests_total": payload.get("requests", {}).get("total", 0),
+            }
+            cache = payload.get("decode_cache")
+            if cache:
+                shard["decode_cache_hit_rate"] = cache.get("hit_rate")
+                shard["decode_cache_size"] = cache.get("size")
+            memo = payload.get("rule_memo")
+            if memo:
+                shard["rule_memo_hit_rate"] = memo.get("hit_rate")
+            per_shard[worker_id] = shard
+        document["workers"] = worker_docs
+        document["fleet"] = {
+            "workers": len(handles),
+            "alive": alive,
+            "respawns": self._respawns,
+            "restarts": self._restarts,
+            "per_shard": per_shard,
+        }
+        return document
+
+    def prometheus_metrics(self) -> str:
+        """Router telemetry plus fleet-level gauges, one text exposition."""
+        text = self.telemetry.prometheus()
+        writer = PrometheusWriter()
+        with self._lock:
+            handles = sorted(self.workers.items())
+            in_ring = self.ring.nodes
+        writer.gauge(
+            "fleet_workers",
+            "Workers by state.",
+            [
+                ({"state": "alive"}, sum(1 for _, h in handles if h.alive)),
+                ({"state": "in_ring"}, len(in_ring)),
+                ({"state": "total"}, len(handles)),
+            ],
+        )
+        writer.counter(
+            "fleet_respawns_total", "Dead workers automatically replaced.",
+            [(None, self._respawns)],
+        )
+        writer.counter(
+            "fleet_restarts_total", "Draining rolling restarts completed.",
+            [(None, self._restarts)],
+        )
+        writer.counter(
+            "fleet_routed_total",
+            "Narrations routed per shard.",
+            [({"worker": wid}, count) for wid, count in sorted(self._routed.items())]
+            or [(None, 0)],
+        )
+        return text + writer.render()
+
+    def traces(self, limit: Optional[int] = None) -> dict[str, Any]:
+        """``GET /trace``: the router's slowest traces with each worker's
+        span tree **grafted** under the matching trace id.
+
+        Workers adopted the router's trace id from ``X-Lantern-Trace-Id``,
+        so matching is exact: a router trace's ``worker_spans`` list holds
+        the worker-side root spans of the same request.
+        """
+        store = self.tracer.store
+        own = store.slowest(limit)
+        worker_roots: dict[str, list[dict[str, Any]]] = {}
+        with self._lock:
+            handles = sorted(self.workers.items())
+        for worker_id, handle in handles:
+            if not handle.alive:
+                continue
+            try:
+                status, payload = handle.client.request_json(
+                    "GET", f"/trace?limit={self.config.trace_window}"
+                )
+            except ServiceError:
+                continue
+            if status != 200:
+                continue
+            for root in payload.get("slowest", []):
+                trace_id = root.get("trace_id")
+                if trace_id:
+                    root["worker_id"] = worker_id
+                    worker_roots.setdefault(trace_id, []).append(root)
+        for trace in own:
+            grafted = worker_roots.get(trace.get("trace_id"))
+            if grafted:
+                trace["worker_spans"] = grafted
+        return {
+            "enabled": self.tracer.enabled,
+            "completed": store.completed,
+            "window": store.window,
+            "slowest": own,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Spawn the fleet, then the front door; returns (host, port)."""
+        if self._started:
+            raise FleetError("fleet already started")
+        self._started = True
+        try:
+            for i in range(self.config.num_workers):
+                self._spawn_worker(f"w{i}")
+        except FleetError:
+            self.stop()
+            raise
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="fleet-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+        handler = _make_router_handler(self)
+        self._httpd = ThreadingHTTPServer((self.config.host, self.config.port), handler)
+        self._httpd.daemon_threads = True
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="fleet-router-http", daemon=True
+        )
+        self._http_thread.start()
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=5.0)
+            self._heartbeat_thread = None
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+            self._http_thread = None
+        self._executor.shutdown(wait=False)
+        with self._lock:
+            handles = list(self.workers.values())
+            self.workers.clear()
+            for worker_id in list(self.ring.nodes):
+                self.ring.remove(worker_id)
+        for handle in handles:
+            handle.terminate()
+
+    def __enter__(self) -> "LanternFleet":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Blocking convenience used by ``python -m repro.service.fleet``."""
+        host, port = self.start()
+        print(
+            f"LANTERN-FLEET router listening on http://{host}:{port} "
+            f"({self.config.num_workers} workers)"
+        )
+        for worker_id, handle in sorted(self.workers.items()):
+            print(f"  worker {worker_id}: http://{handle.host}:{handle.port} (pid {handle.process.pid})")
+        print(f"  POST http://{host}:{port}/narrate            (single or batch wire)")
+        print(f"  POST http://{host}:{port}/admin/restart      (draining rolling restart)")
+        print(f"  GET  http://{host}:{port}/metrics            (aggregated; ?format=prometheus)")
+        print(f"  GET  http://{host}:{port}/trace              (router→worker span trees)")
+        print(f"  GET  http://{host}:{port}/healthz")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down fleet")
+        finally:
+            self.stop()
+
+
+def body_item_count(body: dict[str, Any]) -> int:
+    plans = body.get("plans")
+    return len(plans) if isinstance(plans, list) else 1
+
+
+def _make_router_handler(fleet: LanternFleet) -> type[BaseHTTPRequestHandler]:
+    class RouterHandler(BaseHTTPRequestHandler):
+        server_version = "LanternFleet/1.0"
+        protocol_version = "HTTP/1.1"
+        disable_nagle_algorithm = True
+
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            pass
+
+        def _send_json(self, status: int, body: dict[str, Any]) -> None:
+            payload = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            if status == 429:
+                self.send_header("Retry-After", "1")
+            if self.close_connection:
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_text(self, status: int, text: str, content_type: str) -> None:
+            payload = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _read_body(self, required: bool = True) -> Optional[dict[str, Any]]:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            if length <= 0:
+                if not required:
+                    return None
+                self.close_connection = True
+                raise _HTTPError(
+                    400, {"error": "bad_request", "message": "missing request body"}
+                )
+            if length > MAX_BODY_BYTES:
+                self.close_connection = True
+                raise _HTTPError(
+                    413,
+                    {
+                        "error": "too_large",
+                        "message": f"request body exceeds {MAX_BODY_BYTES} bytes",
+                    },
+                )
+            raw = self.rfile.read(length)
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise _HTTPError(
+                    400, {"error": "bad_request", "message": f"invalid JSON body: {error}"}
+                ) from error
+
+        def do_POST(self) -> None:
+            started = time.perf_counter()
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path == "/narrate":
+                self._post_narrate(started)
+            elif path == "/admin/restart":
+                self._post_restart(started)
+            else:
+                self._read_body(required=False)
+                fleet.telemetry.record_request(
+                    404, time.perf_counter() - started, endpoint="other"
+                )
+                self._send_json(404, {"error": "not_found", "message": self.path})
+
+        def _post_narrate(self, started: float) -> None:
+            root = fleet.tracer.trace(
+                "POST /narrate (router)",
+                trace_id=self.headers.get("X-Lantern-Trace-Id"),
+            )
+            status = 500
+            with root:
+                try:
+                    body = self._read_body()
+                    if isinstance(body, dict) and "plans" in body and "plan" not in body:
+                        status, payload = fleet.narrate_batch_payload(body, span=root)
+                    else:
+                        status, payload = fleet.narrate_payload(body, span=root)
+                    if root and isinstance(payload, dict):
+                        payload["trace_id"] = root.trace_id
+                except _HTTPError as error:
+                    status, payload = error.status, error.body
+                    root.tag(error=error.body.get("error", "http_error"))
+                except Exception as error:  # noqa: BLE001 - last-resort 500
+                    status, payload = 500, {
+                        "error": "internal",
+                        "message": f"{type(error).__name__}: {error}",
+                    }
+                root.tag(status=status)
+                self._send_json(status, payload)
+            fleet.telemetry.record_request(
+                status, time.perf_counter() - started, endpoint="/narrate"
+            )
+
+        def _post_restart(self, started: float) -> None:
+            status = 500
+            try:
+                body = self._read_body(required=False) or {}
+                targets = body.get("workers")
+                if targets is None and body.get("worker"):
+                    targets = [body["worker"]]
+                payload = fleet.restart_workers(targets)
+                status = 200
+            except _HTTPError as error:
+                status, payload = error.status, error.body
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                payload = {"error": "internal", "message": f"{type(error).__name__}: {error}"}
+            fleet.telemetry.record_request(
+                status, time.perf_counter() - started, endpoint="/admin/restart"
+            )
+            self._send_json(status, payload)
+
+        def do_GET(self) -> None:
+            started = time.perf_counter()
+            path, _, query_text = self.path.partition("?")
+            path = path.rstrip("/") or "/"
+            query = parse_qs(query_text)
+            status = 200
+            endpoint = path
+            try:
+                if path == "/metrics":
+                    if query.get("format", [""])[0] == "prometheus":
+                        self._send_text(
+                            200, fleet.prometheus_metrics(), PROMETHEUS_CONTENT_TYPE
+                        )
+                    else:
+                        self._send_json(200, fleet.metrics())
+                elif path == "/trace":
+                    limit = None
+                    if "limit" in query:
+                        try:
+                            limit = int(query["limit"][0])
+                        except ValueError:
+                            limit = None
+                    self._send_json(200, fleet.traces(limit))
+                elif path == "/healthz":
+                    health = fleet.healthz()
+                    status = 200 if health["status"] == "ok" else 503
+                    self._send_json(status, health)
+                else:
+                    status = 404
+                    endpoint = "other"
+                    self._send_json(404, {"error": "not_found", "message": self.path})
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                status = 500
+                self._send_json(
+                    500, {"error": "internal", "message": f"{type(error).__name__}: {error}"}
+                )
+            fleet.telemetry.record_request(
+                status, time.perf_counter() - started, endpoint=endpoint
+            )
+
+    return RouterHandler

@@ -110,6 +110,10 @@ class ServiceConfig:
     trace_log: Optional[str] = None
     #: emit every Nth finished trace to the trace log (1 = all)
     trace_log_every: int = 1
+    #: stable identity of this serving process inside a fleet (surfaced in
+    #: ``/healthz`` and ``/metrics`` so the router can attribute responses);
+    #: None outside LANTERN-FLEET
+    instance_id: Optional[str] = None
 
 
 class LanternService:
@@ -147,6 +151,9 @@ class LanternService:
         self.batcher = MicroBatcher(
             self.lantern, config=self.config.batcher, telemetry=self.telemetry
         )
+        #: set by :meth:`begin_drain` — ``/healthz`` answers ``"draining"``
+        #: (503) and new narrations are refused, while in-flight ones finish
+        self.draining = False
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
 
@@ -166,6 +173,14 @@ class LanternService:
         """
         admission_started = time.perf_counter()
         with span.child("admission"):
+            if self.draining:
+                raise _HTTPError(
+                    503,
+                    {
+                        "error": "draining",
+                        "message": "this worker is draining for restart; retry elsewhere",
+                    },
+                )
             if not isinstance(body, dict):
                 raise _HTTPError(
                     400, {"error": "bad_request", "message": "request body must be a JSON object"}
@@ -248,6 +263,133 @@ class LanternService:
             response["_telemetry"] = {"plan_format": resolved_format, "mode": mode}
         return response
 
+    def narrate_batch_payload(
+        self, body: dict[str, Any], span: Span = NOOP_SPAN
+    ) -> dict[str, Any]:
+        """Validate one batch-wire ``/narrate`` body (``{"plans": [...]}``)
+        and narrate every plan through **one** queue pass.
+
+        All plans enter the micro-batch queue back to back
+        (:meth:`MicroBatcher.submit_many`), so an idle worker fuses the whole
+        wire batch into a single decode.  Failures are per item: a malformed
+        plan, an admission refusal, or a narration error contributes an
+        ``{"error": ..., "status": ...}`` object at its position while the
+        rest of the batch proceeds — the envelope itself only fails (400/503)
+        when it is structurally invalid or the worker is draining.  The
+        LANTERN-FLEET router splits these envelopes per shard and rejoins the
+        item lists in order.
+        """
+        if self.draining:
+            raise _HTTPError(
+                503,
+                {
+                    "error": "draining",
+                    "message": "this worker is draining for restart; retry elsewhere",
+                },
+            )
+        plans = body.get("plans")
+        if not isinstance(plans, list) or not plans:
+            raise _HTTPError(
+                400,
+                {"error": "bad_request", "message": "'plans' must be a non-empty list"},
+            )
+        mode = body.get("mode", self.config.default_mode)
+        if mode not in _MODES:
+            raise _HTTPError(
+                400,
+                {
+                    "error": "bad_request",
+                    "message": f"unknown mode {mode!r}; expected one of {list(_MODES)}",
+                },
+            )
+        presentation = body.get("presentation")
+        if presentation is not None and presentation not in PRESENTATION_MODES:
+            raise _HTTPError(
+                400,
+                {
+                    "error": "bad_request",
+                    "message": (
+                        f"unknown presentation {presentation!r}; "
+                        f"expected one of {list(PRESENTATION_MODES)}"
+                    ),
+                },
+            )
+        plan_format = body.get("format")
+        results: list[Optional[dict[str, Any]]] = [None] * len(plans)
+        ingested: list[tuple[int, Any, str]] = []
+        with span.child("admission", batch=len(plans)):
+            for index, plan in enumerate(plans):
+                try:
+                    tree, resolved_format = self.lantern.registry.ingest(plan, plan_format)
+                except PlanDetectionError as error:
+                    results[index] = {
+                        "error": "plan_format",
+                        "message": str(error),
+                        "attempted_formats": error.attempted_formats,
+                        "status": 400,
+                    }
+                except PlanFormatError as error:
+                    results[index] = {"error": "plan_format", "message": str(error), "status": 400}
+                else:
+                    ingested.append((index, tree, resolved_format))
+        outcomes = self.batcher.submit_many(
+            [tree for _, tree, _ in ingested],
+            [mode] * len(ingested),
+            span=span,
+        )
+        for (index, tree, resolved_format), outcome in zip(ingested, outcomes):
+            if isinstance(outcome, ServiceOverloadError):
+                results[index] = {"error": "overloaded", "message": str(outcome), "status": 429}
+            elif isinstance(outcome, ServiceTimeoutError):
+                results[index] = {"error": "timeout", "message": str(outcome), "status": 503}
+            elif isinstance(outcome, Exception):
+                results[index] = {"error": "narration", "message": str(outcome), "status": 400}
+            else:
+                item: dict[str, Any] = {
+                    "narration": _narration_to_dict(outcome),
+                    "format": resolved_format,
+                    "mode": mode,
+                }
+                if presentation is not None:
+                    item["rendered"] = self.lantern.render(
+                        outcome, tree=tree, mode=presentation
+                    )
+                results[index] = item
+        return {
+            "results": results,
+            "count": len(plans),
+            "_telemetry": {"plan_format": None, "mode": mode},
+        }
+
+    # ------------------------------------------------------------------
+    # fleet hooks (LANTERN-FLEET worker wrapper overrides these)
+    # ------------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Take this process out of rotation without dropping in-flight work.
+
+        ``/healthz`` flips to ``"draining"`` (503) so a router health check
+        removes the worker from its hash ring; new ``/narrate`` submissions
+        are refused with 503 while already-queued narrations finish.
+        """
+        self.draining = True
+
+    def extra_post(
+        self, path: str, body: Optional[dict[str, Any]]
+    ) -> Optional[tuple[int, dict[str, Any]]]:
+        """Hook for additional POST endpoints (``(status, body)`` or None).
+
+        The base service serves none; the fleet worker wrapper adds its
+        ``/admin/*`` surface here without forking the HTTP handler.
+        """
+        return None
+
+    def extra_get(
+        self, path: str, query: dict[str, list[str]]
+    ) -> Optional[tuple[int, dict[str, Any]]]:
+        """Hook for additional GET endpoints (``(status, body)`` or None)."""
+        return None
+
     def metrics(self) -> dict[str, Any]:
         cache_stats = None
         neural = self.lantern.neural
@@ -264,6 +406,8 @@ class LanternService:
             "enabled": self.tracer.enabled,
             "traces_completed": self.tracer.store.completed,
         }
+        if self.config.instance_id is not None:
+            document["worker_id"] = self.config.instance_id
         return document
 
     def prometheus_metrics(self) -> str:
@@ -309,12 +453,29 @@ class LanternService:
         return info
 
     def healthz(self) -> dict[str, Any]:
+        """The ``GET /healthz`` document.  Status semantics:
+
+        * ``"ok"`` (HTTP 200) — accepting and answering narrations;
+        * ``"draining"`` (HTTP 503) — :meth:`begin_drain` was called or the
+          batcher is finishing its queue after a stop request; a fleet router
+          takes the worker out of rotation *before* it goes silent;
+        * ``"degraded"`` (HTTP 503) — the narration worker thread is gone.
+        """
         worker = self.batcher._worker
-        return {
-            "status": "ok" if (worker is not None and worker.is_alive()) else "degraded",
+        if self.draining or self.batcher.draining:
+            status = "draining"
+        elif worker is not None and worker.is_alive():
+            status = "ok"
+        else:
+            status = "degraded"
+        document = {
+            "status": status,
             "formats": self.lantern.registry.formats(),
             "neural_attached": self.lantern.neural is not None,
         }
+        if self.config.instance_id is not None:
+            document["worker_id"] = self.config.instance_id
+        return document
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -461,18 +622,24 @@ def _make_handler(service: LanternService) -> type[BaseHTTPRequestHandler]:
         def do_POST(self) -> None:
             path = self.path.split("?", 1)[0].rstrip("/")
             if path != "/narrate":
-                self.close_connection = True  # request body left unread
-                service.telemetry.record_request(404, 0.0, endpoint="other")
-                self._send_json(404, {"error": "not_found", "message": self.path})
+                self._handle_extra_post(path)
                 return
             started = time.perf_counter()
             plan_format = mode = None
-            root = service.tracer.trace("POST /narrate")
+            # a fleet router propagates its request's trace id; adopting it
+            # keeps one id across the process boundary so the router can
+            # graft this worker's span tree onto its own
+            root = service.tracer.trace(
+                "POST /narrate", trace_id=self.headers.get("X-Lantern-Trace-Id")
+            )
             with root:
                 try:
                     with root.child("read_body"):
                         body = self._read_body()
-                    response = self.narrate(body, root)
+                    if isinstance(body, dict) and "plans" in body and "plan" not in body:
+                        response = service.narrate_batch_payload(body, span=root)
+                    else:
+                        response = self.narrate(body, root)
                     telemetry_tags = response.pop("_telemetry", {})
                     plan_format = telemetry_tags.get("plan_format")
                     mode = telemetry_tags.get("mode")
@@ -508,6 +675,33 @@ def _make_handler(service: LanternService) -> type[BaseHTTPRequestHandler]:
         def narrate(self, body: dict[str, Any], span: Span = NOOP_SPAN) -> dict[str, Any]:
             return service.narrate_payload(body, span=span)
 
+        def _handle_extra_post(self, path: str) -> None:
+            """Dispatch an unknown POST path through the service's extension
+            hook (the fleet worker's ``/admin/*`` surface), else 404."""
+            started = time.perf_counter()
+            status = 404
+            try:
+                length = int(self.headers.get("Content-Length", 0) or 0)
+                body = self._read_body() if length > 0 else None
+                result = service.extra_post(path, body)
+                if result is None:
+                    service.telemetry.record_request(404, 0.0, endpoint="other")
+                    self._send_json(404, {"error": "not_found", "message": self.path})
+                    return
+                status, payload = result
+                self._send_json(status, payload)
+            except _HTTPError as error:
+                status = error.status
+                self._send_json(status, error.body)
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                status = 500
+                self._send_json(
+                    500, {"error": "internal", "message": f"{type(error).__name__}: {error}"}
+                )
+            service.telemetry.record_request(
+                status, time.perf_counter() - started, endpoint=path
+            )
+
         def do_GET(self) -> None:
             started = time.perf_counter()
             path, _, query_text = self.path.partition("?")
@@ -532,11 +726,20 @@ def _make_handler(service: LanternService) -> type[BaseHTTPRequestHandler]:
                             limit = None
                     self._send_json(200, service.traces(limit))
                 elif path == "/healthz":
-                    self._send_json(200, service.healthz())
+                    health = service.healthz()
+                    # non-ok states answer 503 so load balancers and the
+                    # fleet router can act on the status code alone
+                    status = 200 if health["status"] == "ok" else 503
+                    self._send_json(status, health)
                 else:
-                    status = 404
-                    endpoint = "other"
-                    self._send_json(404, {"error": "not_found", "message": self.path})
+                    extra = service.extra_get(path, query)
+                    if extra is not None:
+                        status, payload = extra
+                        self._send_json(status, payload)
+                    else:
+                        status = 404
+                        endpoint = "other"
+                        self._send_json(404, {"error": "not_found", "message": self.path})
             except Exception as error:  # noqa: BLE001 - last-resort 500
                 status = 500
                 self._send_json(

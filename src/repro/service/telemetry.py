@@ -93,9 +93,11 @@ class ServiceTelemetry:
                 if histogram is None:
                     histogram = self._latency[endpoint] = Histogram(DEFAULT_LATENCY_BUCKETS)
                 histogram.observe(latency_s)
-            elif status == 429:
+            elif status == 429 and endpoint == NARRATE_ENDPOINT:
                 self._rejected_overload += 1
-            elif status == 503:
+            elif status == 503 and endpoint == NARRATE_ENDPOINT:
+                # only narration rejections count as timeouts — a draining
+                # worker's /healthz 503s are lifecycle, not shed load
                 self._timed_out += 1
 
     def record_stage(self, stage: str, seconds: float) -> None:
