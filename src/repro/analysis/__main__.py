@@ -1,0 +1,123 @@
+"""``python -m repro.analysis`` — run LANTERN-SENTRY over the checkout.
+
+Exit codes: 0 clean (modulo suppressions/baseline), 1 active findings,
+2 usage or baseline errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
+from repro.analysis.engine import analyze, discover_repo_root
+from repro.analysis.rules import ALL_RULES
+
+
+def _split(value: Optional[str]) -> Optional[list[str]]:
+    if value is None:
+        return None
+    return [part for part in value.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="LANTERN-SENTRY: repo-aware static analysis for this codebase.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="checkout root (default: walk up from cwd to ROADMAP.md/.git)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--rules", default=None, help="comma-separated rule names to run (default: all)"
+    )
+    parser.add_argument(
+        "--disable", default=None, help="comma-separated rule names to skip"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME} when present; "
+            "'none' disables)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list available rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for name, rule in ALL_RULES.items():
+            print(f"{name}: {rule.description}")
+        return 0
+
+    root = args.root or discover_repo_root(Path.cwd()) or Path.cwd()
+    root = root.resolve()
+    if not root.is_dir():
+        print(f"sentry: root {root} is not a directory", file=sys.stderr)
+        return 2
+    scan_root = root / "src" / "repro" if (root / "src" / "repro").is_dir() else root
+
+    baseline_path = (
+        root / DEFAULT_BASELINE_NAME if args.baseline is None else Path(args.baseline)
+    )
+    baseline = None
+    if not args.write_baseline and args.baseline != "none":
+        if baseline_path.is_file():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as error:
+                print(f"sentry: {error}", file=sys.stderr)
+                return 2
+        elif args.baseline is not None:
+            print(f"sentry: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+
+    try:
+        report = analyze(
+            scan_root,
+            tests_dir=root / "tests",
+            docs_dir=root / "docs",
+            rules=_split(args.rules),
+            disabled=_split(args.disable),
+            baseline=baseline,
+        )
+    except ValueError as error:
+        print(f"sentry: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"sentry: wrote {len(report.findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""The committed-findings baseline for SENTRY.
+
+A baseline entry accepts one *existing* finding by its line-independent
+fingerprint ``(rule, path, symbol)`` so legacy debt does not block CI while
+new violations still fail.  Every entry must carry a ``note`` explaining why
+the finding is accepted rather than fixed — an unexplained baseline is just
+a muted alarm.
+
+The file format is stable, diff-reviewable JSON::
+
+    {
+      "version": 1,
+      "findings": [
+        {"rule": "hot-path", "path": "nlg/seq2seq.py",
+         "symbol": "QEP2Seq.beam_decode_batch:concatenate-in-loop",
+         "note": "one concat per fused step, amortized over all beams"}
+      ]
+    }
+
+``python -m repro.analysis --write-baseline`` regenerates it from the
+current findings (with a placeholder note to fill in); hand-pruning entries
+as debt is paid down is the expected workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.engine import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".sentry-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, malformed, or the wrong version."""
+
+
+class Baseline:
+    """A set of accepted finding fingerprints loaded from (or saved to) disk."""
+
+    def __init__(self, entries: Optional[list[dict]] = None) -> None:
+        self.entries = list(entries or [])
+        self._fingerprints = {
+            (entry["rule"], entry["path"], entry["symbol"]) for entry in self.entries
+        }
+
+    def covers(self, finding: "Finding") -> bool:
+        return finding.fingerprint in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise BaselineError(f"cannot read baseline {path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"baseline {path} is not valid JSON: {error}") from error
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported version "
+                f"{payload.get('version') if isinstance(payload, dict) else None!r}"
+            )
+        entries = payload.get("findings", [])
+        if not isinstance(entries, list) or not all(
+            isinstance(entry, dict) and {"rule", "path", "symbol"} <= set(entry)
+            for entry in entries
+        ):
+            raise BaselineError(
+                f"baseline {path}: every entry needs rule/path/symbol keys"
+            )
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list["Finding"]) -> "Baseline":
+        return cls(
+            [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "symbol": finding.symbol,
+                    "note": "TODO: justify or fix",
+                }
+                for finding in findings
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {"version": BASELINE_VERSION, "findings": self.entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,66 @@
+"""SENTRY's rule registry.
+
+Each checker is a subclass of :class:`Rule` with a unique kebab-case
+``name``; registering is just adding it to :data:`ALL_RULES`.  Rules that
+need the repo's ``tests/`` or ``docs/`` trees declare it so the engine can
+report a skip (instead of silently passing) when those are absent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import AnalysisContext, Finding
+
+
+class Rule:
+    """One repo-aware checker; subclasses yield findings from :meth:`check`."""
+
+    name: str = ""
+    description: str = ""
+    #: when True and tests/ is missing, the engine reports the rule skipped
+    requires_tests: bool = False
+    #: when True and docs/ is missing, the rule is skipped entirely
+    requires_docs: bool = False
+
+    def check(self, context: "AnalysisContext") -> Iterator["Finding"]:
+        raise NotImplementedError
+
+
+def _registry() -> list[Rule]:
+    from repro.analysis.rules.api_surface import ApiSurfaceRule
+    from repro.analysis.rules.error_taxonomy import ErrorTaxonomyRule
+    from repro.analysis.rules.hot_path import HotPathRule
+    from repro.analysis.rules.lock_discipline import LockDisciplineRule
+    from repro.analysis.rules.parity_pair import ParityPairRule
+
+    return [
+        LockDisciplineRule(),
+        ParityPairRule(),
+        HotPathRule(),
+        ErrorTaxonomyRule(),
+        ApiSurfaceRule(),
+    ]
+
+
+#: rule name → instance, in reporting order
+ALL_RULES: dict[str, Rule] = {rule.name: rule for rule in _registry()}
+
+
+def get_rules(
+    enabled: Optional[Iterable[str]] = None, disabled: Optional[Iterable[str]] = None
+) -> list[Rule]:
+    """Resolve a rule selection; unknown names raise ``ValueError``."""
+    enabled_set = {name.strip() for name in enabled} if enabled is not None else None
+    disabled_set = {name.strip() for name in disabled or ()}
+    unknown = ((enabled_set or set()) | disabled_set) - set(ALL_RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {sorted(unknown)}; available: {sorted(ALL_RULES)}"
+        )
+    return [
+        rule
+        for name, rule in ALL_RULES.items()
+        if (enabled_set is None or name in enabled_set) and name not in disabled_set
+    ]

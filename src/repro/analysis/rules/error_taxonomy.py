@@ -1,0 +1,200 @@
+"""error-taxonomy: serving code speaks :mod:`repro.errors`, and nothing
+swallows exceptions silently.
+
+Two sub-checks:
+
+* **raise sites** — in ``service/**`` and ``nlg/persistence.py``, every
+  ``raise SomeClass(...)`` must resolve (transitively, across scanned
+  files) to a class rooted in the ``errors.py`` taxonomy.  Control-flow
+  builtins (``SystemExit``, ``StopIteration``, ``NotImplementedError``,
+  ...), bare re-raises, raising bound exception variables, and
+  ``AttributeError`` inside ``__getattr__`` are exempt — those are
+  protocol, not API.
+* **broad excepts** — in ``service/**``, ``obs/**``, and
+  ``nlg/persistence.py``, a bare ``except:`` / ``except Exception`` /
+  ``except BaseException`` whose body neither re-raises nor calls anything
+  (no counter bump, no log, no telemetry) is a silent swallow and gets
+  flagged.  Handlers that record what happened are fine; handlers that
+  ``return None`` are how stacks rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import AnalysisContext, Finding, SourceFile
+from repro.analysis.rules import Rule
+
+_RAISE_SCOPES = ("service",)
+_RAISE_FILES = ("nlg/persistence.py",)
+_EXCEPT_SCOPES = ("service", "obs")
+_EXCEPT_FILES = ("nlg/persistence.py",)
+
+#: exception classes allowed everywhere: interpreter/protocol control flow,
+#: not part of the repo's error API
+_PROTOCOL_OK = {
+    "AssertionError",
+    "KeyboardInterrupt",
+    "NotImplementedError",
+    "StopIteration",
+    "SystemExit",
+}
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _taxonomy_roots(context: AnalysisContext) -> set[str]:
+    roots: set[str] = set()
+    for source in context.files_matching("errors.py"):
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                roots.add(node.name)
+    return roots
+
+
+def _class_bases(context: AnalysisContext) -> dict[str, set[str]]:
+    """Every scanned class → base-class last names (cross-file, by name)."""
+    bases: dict[str, set[str]] = {}
+    for source in context.files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            names = set()
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    names.add(base.id)
+                elif isinstance(base, ast.Attribute):
+                    names.add(base.attr)
+            bases.setdefault(node.name, set()).update(names)
+    return bases
+
+
+def _qualname(stack: list[str]) -> str:
+    return ".".join(stack) if stack else "<module>"
+
+
+class ErrorTaxonomyRule(Rule):
+    name = "error-taxonomy"
+    description = (
+        "service raise sites use the repro.errors hierarchy; broad excepts "
+        "must re-raise or record, never swallow silently"
+    )
+
+    def check(self, context: AnalysisContext) -> Iterator[Finding]:
+        roots = _taxonomy_roots(context)
+        bases = _class_bases(context)
+        resolved: dict[str, bool] = {}
+
+        def in_taxonomy(name: str, seen: frozenset[str] = frozenset()) -> bool:
+            if name in resolved:
+                return resolved[name]
+            if name in roots:
+                result = True
+            elif name in seen or name not in bases:
+                result = False
+            else:
+                result = any(
+                    in_taxonomy(base, seen | {name}) for base in bases[name]
+                )
+            resolved[name] = result
+            return result
+
+        raise_sources = {
+            s.rel: s
+            for s in context.files_under(*_RAISE_SCOPES)
+            + context.files_matching(*_RAISE_FILES)
+        }
+        for source in raise_sources.values():
+            yield from self._check_raises(source, in_taxonomy, bases)
+
+        except_sources = {
+            s.rel: s
+            for s in context.files_under(*_EXCEPT_SCOPES)
+            + context.files_matching(*_EXCEPT_FILES)
+        }
+        for source in except_sources.values():
+            yield from self._check_excepts(source)
+
+    def _check_raises(self, source: SourceFile, in_taxonomy, bases) -> Iterator[Finding]:
+        def visit(node: ast.AST, stack: list[str]) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                stack = stack + [node.name]
+            if isinstance(node, ast.Raise):
+                name = self._raised_class(node, bases)
+                if name is not None and not in_taxonomy(name):
+                    if not (name == "AttributeError" and "__getattr__" in stack):
+                        yield Finding(
+                            rule=self.name,
+                            path=source.rel,
+                            line=node.lineno,
+                            symbol=f"{_qualname(stack)}:raise:{name}",
+                            message=(
+                                f"raise {name} in {_qualname(stack)} bypasses the "
+                                "repro.errors taxonomy (wrap or subclass it)"
+                            ),
+                        )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, stack)
+
+        yield from visit(source.tree, [])
+
+    @staticmethod
+    def _raised_class(node: ast.Raise, bases: dict[str, set[str]]) -> Optional[str]:
+        """Class name raised here, or None when the raise is exempt."""
+        exc = node.exc
+        if exc is None:  # bare re-raise
+            return None
+        called = isinstance(exc, ast.Call)
+        if called:
+            exc = exc.func
+        if isinstance(exc, ast.Attribute):
+            name = exc.attr
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        else:
+            return None
+        if name in _PROTOCOL_OK:
+            return None
+        # an uncalled raise is only a class reference when the name looks
+        # like one; otherwise it re-raises a bound/stored exception object
+        # (``raise request.error``) and the taxonomy was checked at the
+        # site that created it
+        if not called and not (
+            name[:1].isupper()
+            and (name in bases or name.endswith(("Error", "Exception", "Warning")))
+        ):
+            return None
+        return name
+
+    def _check_excepts(self, source: SourceFile) -> Iterator[Finding]:
+        def visit(node: ast.AST, stack: list[str]) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                stack = stack + [node.name]
+            if isinstance(node, ast.ExceptHandler) and self._is_broad(node):
+                body_nodes = [n for stmt in node.body for n in ast.walk(stmt)]
+                reraises = any(isinstance(n, ast.Raise) for n in body_nodes)
+                records = any(isinstance(n, ast.Call) for n in body_nodes)
+                if not reraises and not records:
+                    yield Finding(
+                        rule=self.name,
+                        path=source.rel,
+                        line=node.lineno,
+                        symbol=f"{_qualname(stack)}:broad-except",
+                        message=(
+                            f"broad except in {_qualname(stack)} swallows without "
+                            "re-raising or recording (narrow it, or count/log it)"
+                        ),
+                    )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, stack)
+
+        yield from visit(source.tree, [])
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        kind = handler.type
+        if kind is None:
+            return True
+        kinds = kind.elts if isinstance(kind, ast.Tuple) else [kind]
+        return any(isinstance(k, ast.Name) and k.id in _BROAD for k in kinds)

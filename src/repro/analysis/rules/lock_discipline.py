@@ -1,0 +1,193 @@
+"""lock-discipline: shared state mutates under its lock, or not at all.
+
+For every class that owns a :mod:`threading` lock (``self._lock =
+threading.Lock()`` and friends), the rule *infers* the guarded attribute
+set — any ``self.<attr>`` mutated inside a ``with self.<lock>:`` block in
+any method — and then flags:
+
+* mutations of a guarded attribute outside every lock block (the classic
+  "forgot the lock on the second call site" drift), and
+* read-modify-write updates (``self.x += 1``, ``self.x[k] += 1``) outside
+  any lock block, even for attributes never seen under a lock: an unlocked
+  aug-assign in a lock-owning class is a lost-update bug whether or not a
+  guarded twin exists yet.
+
+``__init__`` is exempt (no concurrent callers before construction
+finishes), as are reads — the rule polices writes only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import AnalysisContext, Finding, SourceFile
+from repro.analysis.rules import Rule
+
+#: threading constructors whose result makes the owning class "lock-owning"
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+#: method calls that mutate the receiver in place
+_MUTATORS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` → attr name, else None (sees through one subscript)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attributes assigned a threading lock anywhere in the class body."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                locks.add(attr)
+    return locks
+
+
+class _Mutation:
+    __slots__ = ("attr", "line", "method", "locked", "is_aug")
+
+    def __init__(self, attr: str, line: int, method: str, locked: bool, is_aug: bool):
+        self.attr = attr
+        self.line = line
+        self.method = method
+        self.locked = locked
+        self.is_aug = is_aug
+
+
+def _collect_mutations(
+    method: ast.FunctionDef | ast.AsyncFunctionDef, lock_attrs: set[str]
+) -> list[_Mutation]:
+    mutations: list[_Mutation] = []
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            holds = any(
+                _self_attr(item.context_expr) in lock_attrs for item in node.items
+            )
+            for child in node.body:
+                visit(child, locked or holds)
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None and attr not in lock_attrs:
+                    mutations.append(
+                        _Mutation(
+                            attr,
+                            node.lineno,
+                            method.name,
+                            locked,
+                            isinstance(node, ast.AugAssign),
+                        )
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    mutations.append(
+                        _Mutation(attr, node.lineno, method.name, locked, False)
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                attr = _self_attr(func.value)
+                if attr is not None:
+                    mutations.append(
+                        _Mutation(attr, node.lineno, method.name, locked, False)
+                    )
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for statement in method.body:
+        visit(statement, False)
+    return mutations
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "in lock-owning classes, lock-guarded attributes must only mutate "
+        "under the lock, and read-modify-write updates must never run unlocked"
+    )
+
+    def check(self, context: AnalysisContext) -> Iterator[Finding]:
+        for source in context.files:
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        for cls in ast.walk(source.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            lock_attrs = _lock_attrs(cls)
+            if not lock_attrs:
+                continue
+            mutations: list[_Mutation] = []
+            for node in cls.body:
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name != "__init__"
+                ):
+                    mutations.extend(_collect_mutations(node, lock_attrs))
+            guarded = {m.attr for m in mutations if m.locked}
+            for mutation in mutations:
+                if mutation.locked:
+                    continue
+                where = f"{cls.name}.{mutation.method}"
+                if mutation.attr in guarded:
+                    yield Finding(
+                        rule=self.name,
+                        path=source.rel,
+                        line=mutation.line,
+                        symbol=f"{where}:{mutation.attr}",
+                        message=(
+                            f"self.{mutation.attr} is lock-guarded elsewhere in "
+                            f"{cls.name} but mutated here outside the lock"
+                        ),
+                    )
+                elif mutation.is_aug:
+                    yield Finding(
+                        rule=self.name,
+                        path=source.rel,
+                        line=mutation.line,
+                        symbol=f"{where}:{mutation.attr}:rmw",
+                        message=(
+                            f"unlocked read-modify-write of self.{mutation.attr} in "
+                            f"lock-owning class {cls.name} (lost-update hazard)"
+                        ),
+                    )

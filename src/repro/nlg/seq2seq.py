@@ -609,6 +609,7 @@ class QEP2Seq:
                 gathered_projected,
                 mask=gathered_mask,
             )
+            # sentry: off[hot-path] — one fused [h|context] concat per decode step, amortized over all live beams
             logits = self.output_layer.forward_infer(np.concatenate([new_h, context], axis=1))
             maxima = logits.max(axis=1, keepdims=True)
             log_probabilities = logits - (

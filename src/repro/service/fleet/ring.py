@@ -29,6 +29,7 @@ import bisect
 import hashlib
 from typing import Iterable, Optional
 
+from repro.errors import FleetError
 from repro.plans.operator_tree import OperatorTree
 from repro.pool.poem import normalize_operator_name
 
@@ -82,7 +83,7 @@ class ConsistentHashRing:
 
     def __init__(self, nodes: Iterable[str] = (), replicas: int = DEFAULT_REPLICAS) -> None:
         if replicas < 1:
-            raise ValueError("replicas must be >= 1")
+            raise FleetError("replicas must be >= 1")
         self.replicas = replicas
         self._points: list[int] = []          # sorted virtual-point hashes
         self._point_nodes: list[str] = []     # node id at the same index

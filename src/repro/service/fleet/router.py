@@ -492,7 +492,8 @@ class LanternFleet:
                     },
                     worker_id,
                 )
-            self._routed[worker_id] += body_item_count(body)
+            with self._lock:
+                self._routed[worker_id] += body_item_count(body)
             return status, payload, worker_id
         return 503, {"error": "timeout", "message": "no live workers in the fleet"}, None
 
@@ -583,7 +584,8 @@ class LanternFleet:
                 status, payload = outcome
                 if status == 200 and isinstance(payload.get("results"), list):
                     workers_used[worker_id] += len(members)
-                    self._routed[worker_id] += len(members)
+                    with self._lock:
+                        self._routed[worker_id] += len(members)
                     for (index, _), item in zip(members, payload["results"]):
                         if isinstance(item, dict) and "error" not in item:
                             item.setdefault("worker_id", worker_id)

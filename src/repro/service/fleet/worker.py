@@ -37,6 +37,7 @@ import time
 from typing import Any, Optional
 
 from repro.core.lantern import Lantern
+from repro.errors import FleetError
 from repro.service.server import DEFAULT_HOST, LanternService, ServiceConfig
 
 __all__ = [
@@ -151,7 +152,7 @@ def build_worker(
             from repro.nlg.cache import CompiledCache
 
             if lantern.neural is None:
-                raise ValueError("--compiled-cache needs a checkpoint with a neural generator")
+                raise FleetError("--compiled-cache needs a checkpoint with a neural generator")
             lantern.neural.decode_cache.mount_compiled(CompiledCache.load(compiled_cache))
     from repro.service.batcher import BatcherConfig
 

@@ -41,6 +41,7 @@ from repro.errors import (
     PlanDetectionError,
     PlanFormatError,
     ReproError,
+    ServiceError,
     ServiceOverloadError,
     ServiceTimeoutError,
 )
@@ -73,7 +74,8 @@ def _process_rss_bytes() -> Optional[int]:
         import resource
 
         return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
-    except Exception:  # noqa: BLE001 - no resource module on this platform
+    except (ImportError, AttributeError, OSError, ValueError):
+        # no resource module (or no usable rusage) on this platform
         return None
 
 _MODES = (MODE_RULE, MODE_NEURAL, MODE_AUTO)
@@ -82,7 +84,7 @@ _MODES = (MODE_RULE, MODE_NEURAL, MODE_AUTO)
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
-class _HTTPError(Exception):
+class _HTTPError(ServiceError):
     """Internal: carries an HTTP status + JSON body to the handler."""
 
     def __init__(self, status: int, body: dict[str, Any]) -> None:
